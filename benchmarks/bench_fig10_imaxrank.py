@@ -1,0 +1,29 @@
+"""Figure 10 — iMaxRank: CPU, I/O and ``|T|`` versus ``τ`` (IND and HOTEL).
+
+Expected shape (paper): CPU time and the number of reported regions grow
+substantially with ``τ`` (the result must cover every order up to
+``k* + τ``), while the I/O cost grows only slightly, because the extra
+records needed for larger ``τ`` mostly live on pages that were read anyway.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_fig10_imaxrank
+
+
+def test_fig10_imaxrank(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig10_imaxrank(scale, quiet=True), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, ["dataset", "tau", "cpu_s", "io", "regions", "k_star"],
+                       title="Figure 10 — iMaxRank, effect of tau"))
+    for name in ("IND", "HOTEL"):
+        series = sorted((row for row in rows if row["dataset"] == name),
+                        key=lambda row: row["tau"])
+        assert len(series) >= 2
+        # Shape checks: |T| is non-decreasing in tau and k* does not change.
+        regions = [row["regions"] for row in series]
+        assert regions == sorted(regions)
+        assert len({row["k_star"] for row in series}) == 1

@@ -1,0 +1,29 @@
+"""Figure 12 (appendix) — MaxScore/MinScore ratio versus dimensionality (IND).
+
+Expected shape (paper): the ratio between the best and the worst score in the
+dataset collapses rapidly as ``d`` grows (the same loss-of-contrast effect
+known from nearest-neighbour search), which is the paper's argument for
+focusing MaxRank on low-dimensional data.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_fig12_score_ratio
+
+
+def test_fig12_score_ratio(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig12_score_ratio(scale, quiet=True), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, ["d", "ratio"],
+                       title="Figure 12 — MaxScore/MinScore ratio vs dimensionality"))
+    ratios = [row["ratio"] for row in rows]
+    assert all(ratio >= 1.0 for ratio in ratios)
+    # Shape check: monotone-ish collapse — the final ratio is well below the
+    # d=2 ratio, and the first half of the sweep dominates the second half.
+    assert ratios[-1] < ratios[0] / 3
+    first_half = ratios[: len(ratios) // 2]
+    second_half = ratios[len(ratios) // 2:]
+    assert min(first_half) >= max(second_half) * 0.5

@@ -1,0 +1,38 @@
+"""Figure 8 — effect of dataset cardinality ``n`` at ``d = 4``.
+
+Panels (a)/(b): CPU time and I/O of AA versus BA on IND data (BA only up to
+its cardinality cap, exactly as the paper restricts BA to 10 K records).
+Panels (c)/(d): CPU and I/O of AA on IND, COR and ANTI.
+Panels (e)/(f): the ``k*`` and ``|T|`` values behind those costs.
+
+Expected shape (paper): AA scales gracefully with ``n`` while BA blows up;
+COR yields the largest ``k*`` with few regions, ANTI the smallest ``k*``
+attained over the most regions, which is also why ANTI costs the most CPU.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_fig8_cardinality
+
+
+def test_fig8_cardinality(benchmark, scale):
+    """Regenerate every Figure 8 series and print them as one table."""
+    rows = benchmark.pedantic(
+        lambda: run_fig8_cardinality(scale, quiet=True), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        rows,
+        ["label", "algorithm", "dataset", "n", "cpu_s", "io", "k_star", "regions"],
+        title="Figure 8 — effect of cardinality n (d = 4)",
+    ))
+    aa_rows = [row for row in rows if row["algorithm"] == "aa"]
+    ba_rows = [row for row in rows if row["algorithm"] == "ba"]
+    assert aa_rows, "AA must be represented"
+    assert ba_rows, "BA must be represented on the capped cardinalities"
+    # Shape check (panel a/b): at the shared cardinality BA costs at least as
+    # much CPU and I/O as AA.
+    for ba in ba_rows:
+        twin = next(r for r in aa_rows if r["n"] == ba["n"] and r["dataset"] == ba["dataset"])
+        assert ba["io"] >= twin["io"]

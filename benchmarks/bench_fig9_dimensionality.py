@@ -1,0 +1,30 @@
+"""Figure 9 — effect of dimensionality ``d`` on AA and BA (IND data).
+
+For ``d = 2`` the paper substitutes FCA for BA and the specialised 2-D AA for
+AA; the driver does the same.  Expected shape: costs of both algorithms grow
+with ``d`` (sharply for the CPU time, driven by the exploding ``|T|``), with
+AA remaining far cheaper than BA at every dimensionality where BA finishes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_fig9_dimensionality
+
+
+def test_fig9_dimensionality(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_fig9_dimensionality(scale, quiet=True), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        rows,
+        ["label", "algorithm", "n", "d", "cpu_s", "io", "k_star", "regions"],
+        title="Figure 9 — effect of dimensionality d (IND)",
+    ))
+    aa_like = [row for row in rows if row["algorithm"] in ("aa", "aa2d")]
+    dims = sorted({row["d"] for row in aa_like})
+    assert len(dims) >= 3
+    # Shape check: |T| grows with dimensionality for the advanced approach.
+    by_d = {row["d"]: row["regions"] for row in aa_like}
+    assert by_d[dims[-1]] >= by_d[dims[0]]

@@ -1,0 +1,27 @@
+"""Table 3 — ``k*`` and ``|T|`` versus dimensionality (IND data, AA).
+
+Expected shape (paper): as ``d`` grows, ``k*`` drops sharply while the number
+of result regions ``|T|`` increases steeply — the dimensionality curse makes
+the focal record competitive in many small pockets of the query space.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_table3_dimensionality
+
+
+def test_table3_kstar_and_regions(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table3_dimensionality(scale, quiet=True), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, ["d", "k_star", "regions", "cpu_s", "io"],
+                       title="Table 3 — effect of dimensionality on k* and |T|"))
+    dims = [row["d"] for row in rows]
+    k_stars = [row["k_star"] for row in rows]
+    regions = [row["regions"] for row in rows]
+    assert dims == sorted(dims)
+    # Shape checks: k* shrinks and |T| grows from the smallest to the largest d.
+    assert k_stars[-1] <= k_stars[0]
+    assert regions[-1] >= regions[0]

@@ -1,0 +1,25 @@
+"""Table 4 — AA on the (simulated) real datasets HOTEL, HOUSE, NBA, PITCH, BAT.
+
+Expected shape (paper): costs rise with dimensionality and cardinality;
+HOTEL (4d) is the cheapest by far; NBA — less correlated than PITCH because
+players of different positions trade off statistics — produces a larger
+``|T|`` than PITCH despite having fewer records.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.figures import run_table4_real_datasets
+
+
+def test_table4_real_datasets(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: run_table4_real_datasets(scale, quiet=True), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, ["dataset", "n", "k_star", "regions", "cpu_s", "io"],
+                       title="Table 4 — AA on simulated real datasets"))
+    by_name = {row["dataset"].split()[0]: row for row in rows}
+    assert set(by_name) == {"HOTEL", "HOUSE", "NBA", "PITCH", "BAT"}
+    # Shape check: the 4-dimensional HOTEL is the cheapest to process.
+    assert by_name["HOTEL"]["cpu_s"] <= min(row["cpu_s"] for row in rows)

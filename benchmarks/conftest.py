@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section (see DESIGN.md § 5 for the experiment index).  By default the
+``small`` workload scale is used so the whole suite finishes in minutes;
+set ``REPRO_BENCH_SCALE=paper_shape`` to run the larger sweeps recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """Workload scale selected through the environment."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The workload scale used by every benchmark in this session."""
+    return bench_scale()

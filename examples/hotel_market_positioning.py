@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Market-impact analysis for a hotel: the paper's motivating scenario.
+
+A hotel owner wants to know the best position her property can ever reach in
+a preference-ranked listing (TripAdvisor-style), and which customer profiles
+would rank it that highly.  This example uses the simulated HOTEL dataset
+(stars, value-for-money, rooms, facilities), runs MaxRank for one hotel, and
+translates the result regions into customer-profile descriptions.
+
+It also runs an *incremental* MaxRank (iMaxRank, τ = 2) to describe the
+broader set of preferences under which the hotel stays within two positions
+of its best possible rank — the "very strong appeal" audience the paper
+suggests targeting with a marketing campaign.
+
+Run with::
+
+    python examples/hotel_market_positioning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import imaxrank, load_real_dataset, maxrank
+from repro.topk import layer_of, order_of
+
+
+def describe_profile(query: np.ndarray, attribute_names) -> str:
+    """Turn a preference vector into a short customer-profile description."""
+    order = np.argsort(-query)
+    primary = attribute_names[order[0]]
+    secondary = attribute_names[order[1]]
+    return (f"cares most about {primary} (weight {query[order[0]]:.2f}), "
+            f"then {secondary} (weight {query[order[1]]:.2f})")
+
+
+def main() -> None:
+    hotels = load_real_dataset("HOTEL", n=1500, seed=11)
+    names = hotels.attribute_names
+
+    # Pick a solid mid-market hotel: good but not on the skyline.
+    sums = hotels.records.sum(axis=1)
+    focal = int(np.argsort(-sums)[40])
+    print(f"Focal hotel #{focal}: "
+          + ", ".join(f"{name}={value:.2f}" for name, value in zip(names, hotels.record(focal))))
+
+    result = maxrank(hotels, focal)
+    print("\nMaxRank analysis")
+    print("  ", result.summary())
+    print(f"   Best achievable position: {result.k_star} "
+          f"out of {hotels.n} hotels")
+    print(f"   Hotels that beat it under every preference (dominators): "
+          f"{result.dominator_count}")
+    print(f"   Convex-hull layer of the hotel (coarse upper-bound intuition): "
+          f"{layer_of(hotels, focal, max_layers=5)}")
+
+    print("\nCustomer profiles that rank the hotel at its best position:")
+    for index, region in enumerate(result.regions[:5]):
+        query = region.representative_query()
+        print(f"   profile {index}: {describe_profile(query, names)}")
+        assert order_of(hotels, hotels.record(focal), query) == result.k_star
+    if result.region_count > 5:
+        print(f"   ... and {result.region_count - 5} more regions")
+
+    # Broaden the audience: preferences under which the hotel stays within
+    # two positions of its best possible rank.
+    relaxed = imaxrank(hotels, focal, tau=2)
+    print("\niMaxRank (tau = 2) — near-best audience")
+    print("  ", relaxed.summary())
+    print(f"   regions covering ranks {relaxed.k_star}..{relaxed.k_star + 2}: "
+          f"{relaxed.region_count}")
+    volume_ratio = relaxed.total_volume() / max(result.total_volume(), 1e-12)
+    print(f"   preference-space volume grows by a factor of {volume_ratio:.1f} "
+          f"compared with the exact-best regions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""What-if analysis for a product that has not been launched yet.
+
+The paper notes that MaxRank supports "what-if" investigations: the focal
+record does not have to belong to the dataset, so a provider can evaluate
+several candidate configurations of a new product — before launching it — by
+issuing one MaxRank query per configuration.
+
+This example simulates a phone-plan-like market with three attributes
+(data allowance, talk time, value-for-money), proposes a handful of candidate
+configurations at different price points, and compares:
+
+* the best rank each candidate could ever achieve (``k*``),
+* how much of the preference space supports that best rank (region volume),
+* the number of competitors that dominate it outright.
+
+Run with::
+
+    python examples/what_if_product_launch.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Dataset, generate_correlated, maxrank
+from repro.experiments import format_table
+
+
+def build_market(seed: int = 23, n: int = 800) -> Dataset:
+    """A moderately correlated market: better plans tend to be better overall."""
+    base = generate_correlated(n, 3, seed=seed)
+    return Dataset(base.records, attribute_names=("data_gb", "talk_time", "value"),
+                   name="phone-plans")
+
+
+def candidate_configurations() -> dict:
+    """Candidate new plans: trade more allowance against value-for-money."""
+    return {
+        "budget":     np.array([0.35, 0.40, 0.90]),
+        "balanced":   np.array([0.60, 0.60, 0.60]),
+        "premium":    np.array([0.85, 0.80, 0.35]),
+        "unlimited":  np.array([0.95, 0.95, 0.15]),
+    }
+
+
+def main() -> None:
+    market = build_market()
+    rows = []
+    for name, configuration in candidate_configurations().items():
+        result = maxrank(market, configuration)
+        rows.append({
+            "candidate": name,
+            "k_star": result.k_star,
+            "dominators": result.dominator_count,
+            "regions": result.region_count,
+            "best_rank_volume": round(result.total_volume(), 6),
+        })
+
+    print(format_table(
+        rows,
+        ["candidate", "k_star", "dominators", "regions", "best_rank_volume"],
+        title=f"What-if MaxRank analysis over {market.n} existing plans",
+    ))
+
+    best = min(rows, key=lambda row: (row["k_star"], -row["best_rank_volume"]))
+    print(f"\nRecommendation: launch the '{best['candidate']}' configuration — "
+          f"it can reach rank {best['k_star']} and no other candidate reaches a better one "
+          f"with a larger supporting preference region.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` keeps working on offline environments whose
+setuptools/pip combination cannot build PEP 660 editable wheels (it falls
+back to the legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,180 @@
+"""Advanced approach (AA) for MaxRank in general dimensionality (paper, Section 6).
+
+AA avoids BA's fatal cost — reading and indexing *every* incomparable record —
+by exploiting dominance among the incomparable records themselves.  If ``r``
+dominates ``r'`` then the half-space of ``r'`` is contained in that of ``r``,
+so ``r'`` cannot matter before ``r`` does.  AA therefore maintains a *mixed
+arrangement* containing one *augmented* half-space per record on the skyline
+of the not-yet-expanded incomparable records (computed and maintained
+incrementally with BBS), plus the *singular* half-spaces of records already
+expanded.
+
+Each iteration (Algorithm 1) identifies the minimum-order cells of the mixed
+arrangement.  Cells contained only in singular half-spaces are accurate and
+enter the result; cells contained in some augmented half-space require those
+half-spaces to be expanded — the record becomes singular, is removed from the
+skyline, and the records it implicitly subsumed surface as new augmented
+half-spaces.  AA terminates when every competitive cell is accurate, having
+typically accessed only a small fraction of the incomparable records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..errors import AlgorithmError
+from ..geometry.halfspace import halfspace_for_record
+from ..index.rstar import RStarTree
+from ..quadtree.quadtree import AugmentedQuadTree
+from ..stats import CostCounters
+from .accessor import DataAccessor
+from .cells import CellRecord, collect_cells, region_for_cell
+from .result import MaxRankResult
+from ._whole_space import whole_space_region
+
+__all__ = ["aa_maxrank"]
+
+#: Safety cap on AA iterations (each iteration expands at least one
+#: half-space, so the cap is never reached for valid inputs).
+_MAX_ITERATIONS = 1_000_000
+
+
+def aa_maxrank(
+    dataset: Dataset,
+    focal: Sequence[float] | np.ndarray | int,
+    *,
+    tau: int = 0,
+    tree: Optional[RStarTree] = None,
+    counters: Optional[CostCounters] = None,
+    split_threshold: Optional[int] = None,
+    use_pairwise: bool = False,
+) -> MaxRankResult:
+    """Answer a MaxRank / iMaxRank query with the advanced approach (``d ≥ 3``).
+
+    Parameters mirror :func:`repro.core.ba.ba_maxrank`; the difference is in
+    how many records are accessed and how many half-spaces are inserted.
+    ``use_pairwise`` defaults to off because with the LP-based feasibility
+    substrate the pairwise pre-analysis costs more than it saves (ablation
+    A1 in ``benchmarks/``); it matters when the per-cell intersection is as
+    expensive as the authors' Qhull calls.
+    """
+    if dataset.d < 3:
+        raise AlgorithmError(
+            f"AA requires d >= 3 (use aa2d_maxrank for d = 2), got d = {dataset.d}"
+        )
+    if tau < 0:
+        raise AlgorithmError(f"tau must be non-negative, got {tau}")
+    start = time.perf_counter()
+    accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
+    counters = accessor.counters
+
+    dominators = accessor.dominator_count()
+    reduced_dim = dataset.d - 1
+    quadtree = AugmentedQuadTree(
+        reduced_dim, split_threshold=split_threshold, counters=counters
+    )
+    skyline = accessor.incremental_skyline()
+
+    record_to_hid: Dict[int, int] = {}
+    augmented_ids: Set[int] = set()
+
+    def add_record(record_id: int, point: np.ndarray) -> None:
+        """Insert the (augmented) half-space of a newly exposed skyline record."""
+        if record_id in record_to_hid:
+            return
+        halfspace = halfspace_for_record(
+            point, accessor.focal, record_id=record_id, augmented=True
+        )
+        hid = quadtree.insert(halfspace)
+        record_to_hid[record_id] = hid
+        augmented_ids.add(hid)
+
+    with counters.timer("skyline"):
+        for member in skyline.compute():
+            add_record(member.record_id, member.point)
+
+    if len(quadtree) == 0:
+        regions = [whole_space_region(reduced_dim, dominators)]
+        return MaxRankResult(
+            k_star=dominators + 1,
+            regions=regions,
+            dominator_count=dominators,
+            minimum_cell_order=0,
+            tau=tau,
+            algorithm="AA",
+            counters=counters,
+            cpu_seconds=time.perf_counter() - start,
+            focal=accessor.focal,
+        )
+
+    best_accurate: Optional[int] = None
+    final_cells: List[CellRecord] = []
+    leaf_cache: dict = {}
+
+    with counters.timer("within_leaf"):
+        for _ in range(_MAX_ITERATIONS):
+            counters.iterations += 1
+            scan_best, cells = collect_cells(
+                quadtree,
+                tau=tau,
+                use_pairwise=use_pairwise,
+                counters=counters,
+                cache=leaf_cache,
+            )
+            if scan_best is None:
+                break
+            bound = scan_best + tau
+            if best_accurate is not None:
+                bound = min(scan_best, best_accurate) + tau
+            candidates = [cell for cell in cells if cell.order <= bound]
+            accurate = [
+                cell for cell in candidates if not (cell.containing_ids & augmented_ids)
+            ]
+            inaccurate = [
+                cell for cell in candidates if cell.containing_ids & augmented_ids
+            ]
+            if accurate:
+                best = min(cell.order for cell in accurate)
+                if best_accurate is None or best < best_accurate:
+                    best_accurate = best
+            to_expand: Set[int] = set()
+            for cell in inaccurate:
+                to_expand.update(cell.containing_ids & augmented_ids)
+            if not to_expand:
+                limit = (best_accurate if best_accurate is not None else scan_best) + tau
+                final_cells = [cell for cell in candidates if cell.order <= limit]
+                break
+            with counters.timer("expansion"):
+                for hid in to_expand:
+                    augmented_ids.discard(hid)
+                    halfspace = quadtree.halfspace(hid)
+                    quadtree.replace(hid, halfspace.with_flags(augmented=False))
+                    counters.halfspaces_expanded += 1
+                    record_id = halfspace.record_id
+                    if record_id is None:
+                        continue
+                    for member in skyline.exclude(record_id):
+                        add_record(member.record_id, member.point)
+
+    if not final_cells:
+        raise AlgorithmError(
+            "AA terminated without locating any accurate arrangement cell"
+        )
+
+    minimum_order = min(cell.order for cell in final_cells)
+    regions = [region_for_cell(quadtree, cell, dominators) for cell in final_cells]
+    return MaxRankResult(
+        k_star=dominators + minimum_order + 1,
+        regions=regions,
+        dominator_count=dominators,
+        minimum_cell_order=minimum_order,
+        tau=tau,
+        algorithm="AA",
+        counters=counters,
+        cpu_seconds=time.perf_counter() - start,
+        focal=accessor.focal,
+    )

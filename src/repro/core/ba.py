@@ -1,0 +1,118 @@
+"""Basic approach (BA) for MaxRank in general dimensionality (paper, Section 5).
+
+BA reads every incomparable record, maps each to a half-space of the reduced
+query space, organises all those half-spaces in an augmented quad-tree, and
+then processes the quad-tree leaves in increasing ``|F_l|`` order, running
+the within-leaf module on each leaf that could still contain a cell of
+competitive order.  The result is exact, but — as the paper's evaluation
+shows — BA does not scale: it must access the whole dataset and insert one
+half-space per incomparable record, which is why it is only run on small
+cardinalities in the benchmarks (the same restriction the paper applies).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..errors import AlgorithmError
+from ..geometry.halfspace import halfspace_for_record
+from ..index.rstar import RStarTree
+from ..quadtree.quadtree import AugmentedQuadTree
+from ..stats import CostCounters
+from .accessor import DataAccessor
+from .cells import collect_cells, region_for_cell
+from .result import MaxRankRegion, MaxRankResult
+from ._whole_space import whole_space_region
+
+__all__ = ["ba_maxrank"]
+
+
+def ba_maxrank(
+    dataset: Dataset,
+    focal: Sequence[float] | np.ndarray | int,
+    *,
+    tau: int = 0,
+    tree: Optional[RStarTree] = None,
+    counters: Optional[CostCounters] = None,
+    split_threshold: Optional[int] = None,
+    use_pairwise: bool = False,
+) -> MaxRankResult:
+    """Answer a MaxRank / iMaxRank query with the basic approach (``d ≥ 3``).
+
+    Parameters
+    ----------
+    dataset, focal:
+        The dataset ``D`` and focal record ``p`` (index or coordinates).
+    tau:
+        iMaxRank slack; 0 gives plain MaxRank.
+    tree:
+        Optional pre-built R*-tree over the dataset.
+    counters:
+        Optional cost counters to accumulate into.
+    split_threshold:
+        Quad-tree leaf split threshold (ablation A2).
+    use_pairwise:
+        Enable pairwise-constraint pruning inside leaves (ablation A1).  Off
+        by default: with LP-based feasibility the pair analysis costs as much
+        as the cell tests it avoids.
+    """
+    if dataset.d < 3:
+        raise AlgorithmError(
+            f"BA requires d >= 3 (use FCA for d = 2), got d = {dataset.d}"
+        )
+    if tau < 0:
+        raise AlgorithmError(f"tau must be non-negative, got {tau}")
+    start = time.perf_counter()
+    accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
+    counters = accessor.counters
+
+    dominators = accessor.dominator_count()
+    incomparable = accessor.scan_incomparable()
+
+    reduced_dim = dataset.d - 1
+    quadtree = AugmentedQuadTree(
+        reduced_dim, split_threshold=split_threshold, counters=counters
+    )
+    with counters.timer("quadtree_build"):
+        for record_id, point in incomparable:
+            quadtree.insert(halfspace_for_record(point, accessor.focal, record_id=record_id))
+
+    if len(quadtree) == 0:
+        regions = [whole_space_region(reduced_dim, dominators)]
+        return MaxRankResult(
+            k_star=dominators + 1,
+            regions=regions,
+            dominator_count=dominators,
+            minimum_cell_order=0,
+            tau=tau,
+            algorithm="BA",
+            counters=counters,
+            cpu_seconds=time.perf_counter() - start,
+            focal=accessor.focal,
+        )
+
+    with counters.timer("within_leaf"):
+        best_order, cell_records = collect_cells(
+            quadtree, tau=tau, use_pairwise=use_pairwise, counters=counters
+        )
+    if best_order is None:
+        raise AlgorithmError(
+            "BA found no non-empty arrangement cell; the permissible query space is empty"
+        )
+
+    regions = [region_for_cell(quadtree, record, dominators) for record in cell_records]
+    return MaxRankResult(
+        k_star=dominators + best_order + 1,
+        regions=regions,
+        dominator_count=dominators,
+        minimum_cell_order=best_order,
+        tau=tau,
+        algorithm="BA",
+        counters=counters,
+        cpu_seconds=time.perf_counter() - start,
+        focal=accessor.focal,
+    )

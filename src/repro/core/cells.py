@@ -1,0 +1,212 @@
+"""Shared cell-collection machinery for BA and AA (``d ≥ 3``).
+
+Both the basic and the advanced approach repeatedly need the same primitive:
+given the current augmented quad-tree over (a subset of) the incomparable
+half-spaces, find the cells of the implied arrangement with the smallest
+order — processing leaves in increasing ``|F_l|`` order and pruning leaves
+that cannot contain a competitive cell.  BA runs the primitive once over the
+full set of half-spaces; AA runs it once per iteration over the mixed
+arrangement.  The iMaxRank variant widens the collection bound by ``τ``.
+
+:func:`collect_cells` implements that primitive and returns
+:class:`CellRecord` objects, which carry everything the callers need: the
+leaf, the within-leaf cell, its order, and the ids of the half-spaces that
+contain it.  :func:`region_for_cell` converts a record into the user-facing
+:class:`~repro.core.result.MaxRankRegion`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..geometry.halfspace import reduced_space_constraints
+from ..geometry.polytope import ConvexPolytope
+from ..quadtree.quadtree import AugmentedQuadTree, QuadTreeNode
+from ..quadtree.withinleaf import LeafCell, WithinLeafProcessor
+from ..stats import CostCounters
+from .result import MaxRankRegion
+
+__all__ = ["CellRecord", "collect_cells", "region_for_cell"]
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One non-empty arrangement cell found during a quad-tree scan.
+
+    Attributes
+    ----------
+    leaf:
+        The quad-tree leaf the cell was found in.
+    cell:
+        The within-leaf cell (bit-string, p-order, witness point).
+    order:
+        Global cell order: ``|F_l|`` plus the cell's p-order.
+    containing_ids:
+        Ids of every half-space containing the cell (full-containment set of
+        the leaf plus the bit-string's 1-bits).
+    full_ids:
+        The leaf's full-containment set (kept separately so regions can be
+        rebuilt without re-deriving it).
+    """
+
+    leaf: QuadTreeNode
+    cell: LeafCell
+    order: int
+    containing_ids: FrozenSet[int]
+    full_ids: FrozenSet[int]
+
+
+class _LeafScanState:
+    """Lazy per-leaf scan state: a processor plus memoised per-weight results."""
+
+    __slots__ = ("processor", "partial_len", "weight_cells")
+
+    def __init__(self, processor: WithinLeafProcessor, partial_len: int) -> None:
+        self.processor = processor
+        self.partial_len = partial_len
+        self.weight_cells: dict = {}
+
+    def cells_at(self, weight: int) -> List[LeafCell]:
+        if weight not in self.weight_cells:
+            self.weight_cells[weight] = self.processor.cells_at_weight(weight)
+        return self.weight_cells[weight]
+
+
+def collect_cells(
+    tree: AugmentedQuadTree,
+    *,
+    tau: int = 0,
+    use_pairwise: bool = False,
+    counters: Optional[CostCounters] = None,
+    cache: Optional[dict] = None,
+) -> Tuple[Optional[int], List[CellRecord]]:
+    """Scan the quad-tree for the smallest-order cells of its arrangement.
+
+    Returns ``(best_order, cells)`` where ``cells`` contains every non-empty
+    cell whose order is at most ``best_order + tau``.  ``best_order`` is
+    ``None`` when the arrangement has no non-empty cell inside the
+    permissible simplex (which only happens for degenerate inputs).
+
+    Candidate ``(leaf, Hamming weight)`` pairs are explored best-first by the
+    lower bound ``|F_l| + weight`` on the order of any cell they can produce.
+    This generalises the paper's leaf-pruning rule (a leaf whose ``|F_l|``
+    exceeds the best order found so far, plus ``tau``, is never processed)
+    and additionally guarantees that no leaf is enumerated beyond the weight
+    a competitive cell could have — important when a leaf's partial set is
+    large.
+
+    Parameters
+    ----------
+    cache:
+        Optional dictionary reused across calls (AA scans the same tree once
+        per iteration).  Per-leaf, per-weight results are stored keyed by the
+        leaf object and invalidated when the leaf's partial-overlap set has
+        grown since they were computed.
+    """
+    annotated = tree.leaves_by_containment()
+    if not annotated:
+        return None, []
+
+    states: dict = {}
+
+    def state_for(index: int) -> _LeafScanState:
+        leaf, _ = annotated[index]
+        if cache is not None:
+            entry = cache.get(id(leaf))
+            if entry is not None and entry.partial_len == len(leaf.partial):
+                return entry
+        partial_pairs = [(hid, tree.halfspace(hid)) for hid in leaf.partial]
+        processor = WithinLeafProcessor(
+            leaf.lower,
+            leaf.upper,
+            partial_pairs,
+            use_pairwise=use_pairwise,
+            counters=counters,
+        )
+        state = _LeafScanState(processor, len(leaf.partial))
+        if cache is not None:
+            cache[id(leaf)] = state
+        return state
+
+    # Heap of (order lower bound, leaf index, weight); leaves enter at weight 0.
+    heap: List[Tuple[int, int, int]] = [
+        (full_count, index, 0) for index, (_, full_count) in enumerate(annotated)
+    ]
+    heapq.heapify(heap)
+
+    best: Optional[int] = None
+    collected: List[CellRecord] = []
+    touched: set = set()
+
+    while heap:
+        priority, index, weight = heapq.heappop(heap)
+        if best is not None and priority > best + tau:
+            break
+        leaf, full_count = annotated[index]
+        state = states.get(index)
+        if state is None:
+            state = state_for(index)
+            states[index] = state
+            touched.add(index)
+        if weight > state.partial_len:
+            continue
+        cells = state.cells_at(weight)
+        if cells and (best is None or priority < best):
+            best = priority
+        if cells:
+            frozen_full = frozenset(leaf.full_ids())
+            for cell in cells:
+                collected.append(
+                    CellRecord(
+                        leaf=leaf,
+                        cell=cell,
+                        order=priority,
+                        containing_ids=frozen_full | frozenset(cell.inside_ids),
+                        full_ids=frozen_full,
+                    )
+                )
+        if weight < state.partial_len:
+            heapq.heappush(heap, (priority + 1, index, weight + 1))
+
+    if counters is not None:
+        counters.leaves_processed += len(touched)
+        counters.leaves_pruned += len(annotated) - len(touched)
+    if best is None:
+        return None, []
+    kept = [record for record in collected if record.order <= best + tau]
+    return best, kept
+
+
+def region_for_cell(
+    tree: AugmentedQuadTree,
+    record: CellRecord,
+    dominator_count: int,
+) -> MaxRankRegion:
+    """Convert a collected cell into a user-facing :class:`MaxRankRegion`.
+
+    The region geometry is the intersection of the leaf extent, the
+    permissible-simplex constraints, and the half-spaces / complements
+    selected by the cell's bit-string.  The half-spaces that fully contain
+    the leaf are redundant inside the leaf box and are therefore omitted from
+    the geometry, but their inducing records do appear in ``outscored_by``.
+    """
+    constraints = list(reduced_space_constraints(tree.dim))
+    for (hid, _), bit in zip(
+        [(hid, tree.halfspace(hid)) for hid in record.leaf.partial], record.cell.bits
+    ):
+        halfspace = tree.halfspace(hid)
+        constraints.append(halfspace if bit else halfspace.complement())
+    geometry = ConvexPolytope(constraints, record.leaf.lower, record.leaf.upper)
+    outscored = []
+    for hid in sorted(record.containing_ids):
+        record_id = tree.halfspace(hid).record_id
+        if record_id is not None:
+            outscored.append(record_id)
+    return MaxRankRegion(
+        geometry=geometry,
+        cell_order=record.order,
+        order=dominator_count + record.order + 1,
+        outscored_by=tuple(outscored),
+    )

@@ -1,0 +1,199 @@
+"""First-cut algorithm (FCA) for MaxRank in two dimensions (paper, Section 4).
+
+With ``d = 2`` and ``q_2 = 1 − q_1`` the score of every record is a linear
+function of ``q_1``, so the plot of score versus ``q_1`` is a line.  Every
+intersection between the focal record's score line and another record's score
+line marks a ``q_1`` value where the two swap ranks.  FCA computes all those
+intersections, sorts them, and sweeps ``q_1`` from 0 to 1 maintaining the
+focal record's order; the minimum order over the sweep is ``k*`` and the
+intervals where it is attained form ``T``.
+
+Following the paper, FCA is enhanced with dominance pruning: dominators only
+contribute their count and dominees are discarded, so only incomparable
+records generate intersections.  FCA still reads the entire dataset through
+the R*-tree (linear I/O), which is exactly the inefficiency the specialised
+2-D advanced approach removes (Section 6.3, Figure 11).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..errors import AlgorithmError
+from ..geometry.halfspace import halfspace_for_record
+from ..geometry.interval import Interval
+from ..index.rstar import RStarTree
+from ..stats import CostCounters
+from .accessor import DataAccessor
+from .result import MaxRankRegion, MaxRankResult
+
+__all__ = ["fca_maxrank", "score_line_events"]
+
+#: Sweep intervals narrower than this are reordering points, not regions.
+_MIN_INTERVAL = 1e-12
+
+
+@dataclass(frozen=True)
+class _Event:
+    """A reordering event of the sweep: at ``value`` record ``record_id`` crosses p.
+
+    ``enters`` is True when the record starts outscoring the focal record for
+    ``q_1`` larger than ``value`` (a "→" half-line) and False when it stops
+    (a "←" half-line).
+    """
+
+    value: float
+    enters: bool
+    record_id: int
+
+
+def score_line_events(
+    incomparable: Sequence[Tuple[int, np.ndarray]],
+    focal: np.ndarray,
+) -> Tuple[List[_Event], List[int]]:
+    """Compute sweep events for every incomparable record.
+
+    Returns ``(events, initially_active)``: the sorted reordering events and
+    the ids of records that outscore the focal record as ``q_1 → 0+``.
+    """
+    events: List[_Event] = []
+    initially_active: List[int] = []
+    for record_id, point in incomparable:
+        halfspace = halfspace_for_record(point, focal, record_id=record_id)
+        coefficient = float(halfspace.coefficients[0])
+        boundary = halfspace.offset / coefficient
+        enters = coefficient > 0
+        if boundary <= 0.0:
+            # The record outscores (enters=True) or never outscores the focal
+            # record throughout (0, 1); no event inside the sweep range.
+            if enters:
+                initially_active.append(record_id)
+            continue
+        if boundary >= 1.0:
+            if not enters:
+                initially_active.append(record_id)
+            continue
+        if not enters:
+            initially_active.append(record_id)
+        events.append(_Event(value=boundary, enters=enters, record_id=record_id))
+    events.sort(key=lambda event: (event.value, event.record_id))
+    return events, initially_active
+
+
+def fca_maxrank(
+    dataset: Dataset,
+    focal: Sequence[float] | np.ndarray | int,
+    *,
+    tau: int = 0,
+    tree: Optional[RStarTree] = None,
+    counters: Optional[CostCounters] = None,
+) -> MaxRankResult:
+    """Answer a MaxRank / iMaxRank query with the first-cut algorithm (``d = 2``)."""
+    if dataset.d != 2:
+        raise AlgorithmError(f"FCA only supports d = 2 datasets, got d = {dataset.d}")
+    if tau < 0:
+        raise AlgorithmError(f"tau must be non-negative, got {tau}")
+    start = time.perf_counter()
+    accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
+    counters = accessor.counters
+
+    dominators = accessor.dominator_count()
+    incomparable = accessor.scan_incomparable()
+
+    with counters.timer("sweep"):
+        events, initially_active = score_line_events(incomparable, accessor.focal)
+        regions = _sweep(events, initially_active, dominators, tau)
+
+    if not regions:
+        # No incomparable record ever outscores the focal record anywhere, or
+        # there are no incomparable records at all: the whole query space is
+        # one region with cell order zero (or the constant active count).
+        base_order = len(initially_active)
+        regions = [
+            MaxRankRegion(
+                geometry=Interval(0.0, 1.0),
+                cell_order=base_order,
+                order=dominators + base_order + 1,
+                outscored_by=tuple(sorted(initially_active)),
+            )
+        ]
+
+    k_star = min(region.order for region in regions)
+    result = MaxRankResult(
+        k_star=k_star,
+        regions=regions,
+        dominator_count=dominators,
+        minimum_cell_order=k_star - dominators - 1,
+        tau=tau,
+        algorithm="FCA",
+        counters=counters,
+        cpu_seconds=time.perf_counter() - start,
+        focal=accessor.focal,
+    )
+    return result
+
+
+def _sweep(
+    events: List[_Event],
+    initially_active: List[int],
+    dominators: int,
+    tau: int,
+) -> List[MaxRankRegion]:
+    """Sweep ``q_1`` over (0, 1), tracking the active (outscoring) record count.
+
+    The sweep runs twice: the first pass only counts active records per
+    interval to find the minimum order, the second materialises the active
+    *sets* solely for the intervals that enter the result — keeping the cost
+    linear in the number of events rather than quadratic.
+    """
+    total = len(events)
+
+    # First pass: interval extents and active counts.
+    raw: List[Tuple[float, float, int]] = []
+    count = len(initially_active)
+    previous = 0.0
+    for index in range(total + 1):
+        value = events[index].value if index < total else 1.0
+        if value - previous > _MIN_INTERVAL:
+            raw.append((previous, value, count))
+        if index < total:
+            count += 1 if events[index].enters else -1
+            previous = value
+    if not raw:
+        return []
+    minimum = min(order for _, _, order in raw)
+    bound = minimum + tau
+
+    # Second pass: build regions (with their outscoring record sets) for the
+    # intervals whose order qualifies.
+    regions: List[MaxRankRegion] = []
+    active = set(initially_active)
+    previous = 0.0
+    position = 0
+    for index in range(total + 1):
+        value = events[index].value if index < total else 1.0
+        if value - previous > _MIN_INTERVAL:
+            low, high, cell_order = raw[position]
+            position += 1
+            if cell_order <= bound:
+                regions.append(
+                    MaxRankRegion(
+                        geometry=Interval(low, high),
+                        cell_order=cell_order,
+                        order=dominators + cell_order + 1,
+                        outscored_by=tuple(sorted(active)),
+                    )
+                )
+        if index < total:
+            event = events[index]
+            if event.enters:
+                active.add(event.record_id)
+            else:
+                active.discard(event.record_id)
+            previous = value
+    return regions

@@ -1,0 +1,122 @@
+"""Public MaxRank / iMaxRank entry points.
+
+:func:`maxrank` dispatches a query to the appropriate algorithm.  The
+default, ``algorithm="auto"``, picks the paper's recommended processing
+strategy: the specialised 2-dimensional advanced approach for ``d = 2`` and
+the general advanced approach for ``d ≥ 3``.  The first-cut algorithm (FCA)
+and the basic approach (BA) remain selectable — they are the baselines the
+paper compares against and the benchmarks need them — as are the exact and
+sampling brute-force oracles.
+
+:func:`imaxrank` is a thin convenience wrapper that makes the incremental
+variant (Definition 2 of the paper) explicit in calling code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..errors import AlgorithmError
+from ..index.rstar import RStarTree
+from ..stats import CostCounters
+from .aa import aa_maxrank
+from .aa2d import aa2d_maxrank
+from .ba import ba_maxrank
+from .bruteforce import maxrank_exact_small
+from .fca import fca_maxrank
+from .result import MaxRankResult
+
+__all__ = ["maxrank", "imaxrank", "ALGORITHMS"]
+
+#: Selectable algorithm names.
+ALGORITHMS = ("auto", "aa", "aa2d", "ba", "fca", "exact")
+
+
+def maxrank(
+    dataset: Dataset,
+    focal: Sequence[float] | np.ndarray | int,
+    *,
+    algorithm: str = "auto",
+    tau: int = 0,
+    tree: Optional[RStarTree] = None,
+    counters: Optional[CostCounters] = None,
+    **options,
+) -> MaxRankResult:
+    """Answer a MaxRank (or iMaxRank, with ``tau > 0``) query.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset ``D``.
+    focal:
+        The focal record ``p`` — either an index into ``dataset`` or explicit
+        coordinates (it need not belong to the dataset).
+    algorithm:
+        One of ``"auto"``, ``"aa"``, ``"aa2d"``, ``"ba"``, ``"fca"``,
+        ``"exact"``.  ``"auto"`` selects the advanced approach suited to the
+        dataset's dimensionality.
+    tau:
+        iMaxRank slack ``τ ≥ 0``; regions covering orders up to
+        ``k* + tau`` are reported.
+    tree:
+        Optional pre-built :class:`~repro.index.rstar.RStarTree` over
+        ``dataset.records`` (reused across queries by the benchmarks).
+    counters:
+        Optional :class:`~repro.stats.CostCounters` to accumulate costs into.
+    options:
+        Algorithm-specific tuning knobs (``split_threshold``,
+        ``use_pairwise`` for BA/AA).
+
+    Returns
+    -------
+    MaxRankResult
+        ``k*``, the result regions ``T``, and the cost report.
+    """
+    name = algorithm.lower()
+    if name not in ALGORITHMS:
+        raise AlgorithmError(
+            f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+        )
+    if name == "auto":
+        name = "aa2d" if dataset.d == 2 else "aa"
+
+    if name == "fca":
+        return fca_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
+    if name == "aa2d":
+        return aa2d_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
+    if name == "ba":
+        return ba_maxrank(
+            dataset, focal, tau=tau, tree=tree, counters=counters, **options
+        )
+    if name == "aa":
+        return aa_maxrank(
+            dataset, focal, tau=tau, tree=tree, counters=counters, **options
+        )
+    return maxrank_exact_small(dataset, focal, tau=tau, **options)
+
+
+def imaxrank(
+    dataset: Dataset,
+    focal: Sequence[float] | np.ndarray | int,
+    tau: int,
+    *,
+    algorithm: str = "auto",
+    tree: Optional[RStarTree] = None,
+    counters: Optional[CostCounters] = None,
+    **options,
+) -> MaxRankResult:
+    """Answer an incremental MaxRank query (Definition 2 of the paper)."""
+    if tau < 0:
+        raise AlgorithmError(f"tau must be non-negative, got {tau}")
+    return maxrank(
+        dataset,
+        focal,
+        algorithm=algorithm,
+        tau=tau,
+        tree=tree,
+        counters=counters,
+        **options,
+    )

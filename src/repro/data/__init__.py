@@ -1,0 +1,25 @@
+"""Data layer: dataset container, synthetic generators and simulated real datasets."""
+
+from .dataset import Dataset, random_permissible_vector, validate_query_vector
+from .generators import (
+    DISTRIBUTIONS,
+    generate,
+    generate_anticorrelated,
+    generate_correlated,
+    generate_independent,
+)
+from .realistic import REAL_DATASETS, RealDatasetSpec, load_real_dataset
+
+__all__ = [
+    "Dataset",
+    "validate_query_vector",
+    "random_permissible_vector",
+    "generate",
+    "generate_independent",
+    "generate_correlated",
+    "generate_anticorrelated",
+    "DISTRIBUTIONS",
+    "REAL_DATASETS",
+    "RealDatasetSpec",
+    "load_real_dataset",
+]

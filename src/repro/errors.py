@@ -1,0 +1,45 @@
+"""Exception hierarchy for the MaxRank reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so a
+caller can catch library-specific failures without masking programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class InvalidDatasetError(ReproError):
+    """The dataset is malformed (empty, non-numeric, ragged rows, NaNs)."""
+
+
+class InvalidRecordError(ReproError):
+    """A record (typically the focal record) has the wrong shape or values."""
+
+
+class InvalidQueryVectorError(ReproError):
+    """A query vector is not permissible (non-positive weight, wrong sum)."""
+
+
+class DimensionalityError(ReproError):
+    """An operation received data of an unsupported dimensionality."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was invoked with parameters it does not support."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive was used inconsistently (e.g. mixed dims)."""
+
+
+class IndexError_(ReproError):
+    """An error in the spatial index layer (named with a trailing underscore
+    to avoid shadowing the built-in :class:`IndexError`)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment/benchmark driver received an invalid configuration."""

@@ -1,0 +1,36 @@
+"""Experiment harness and drivers that regenerate the paper's tables and figures."""
+
+from .figures import (
+    run_fig8_cardinality,
+    run_fig9_dimensionality,
+    run_fig10_imaxrank,
+    run_fig11_two_dimensions,
+    run_fig12_score_ratio,
+    run_table3_dimensionality,
+    run_table4_real_datasets,
+)
+from .harness import BatchResult, QueryMeasurement, run_batch, select_focal_records
+from .reporting import format_series, format_table, print_series, print_table
+from .workloads import CONFIGS, ExperimentConfig, Scale, get_config
+
+__all__ = [
+    "run_batch",
+    "select_focal_records",
+    "BatchResult",
+    "QueryMeasurement",
+    "format_table",
+    "format_series",
+    "print_table",
+    "print_series",
+    "CONFIGS",
+    "ExperimentConfig",
+    "Scale",
+    "get_config",
+    "run_fig8_cardinality",
+    "run_fig9_dimensionality",
+    "run_table3_dimensionality",
+    "run_table4_real_datasets",
+    "run_fig10_imaxrank",
+    "run_fig11_two_dimensions",
+    "run_fig12_score_ratio",
+]

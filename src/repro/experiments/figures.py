@@ -1,0 +1,228 @@
+"""Drivers that regenerate every table and figure of the paper's evaluation.
+
+Each ``run_*`` function executes the corresponding experiment at the chosen
+scale (``"small"`` or ``"paper_shape"``, see
+:mod:`repro.experiments.workloads`), returns the raw rows, and — unless
+``quiet`` — prints them in the same layout the paper uses, so the output can
+be compared side by side with the original charts.  The pytest-benchmark
+files under ``benchmarks/`` call these drivers; EXPERIMENTS.md records one
+full run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import Dataset, random_permissible_vector
+from ..data.generators import generate
+from ..data.realistic import REAL_DATASETS, load_real_dataset
+from ..index.rstar import RStarTree
+from ..topk.scoring import score_ratio
+from .harness import BatchResult, run_batch
+from .reporting import format_table
+from .workloads import Scale, get_config
+
+__all__ = [
+    "run_fig8_cardinality",
+    "run_fig9_dimensionality",
+    "run_table3_dimensionality",
+    "run_table4_real_datasets",
+    "run_fig10_imaxrank",
+    "run_fig11_two_dimensions",
+    "run_fig12_score_ratio",
+]
+
+
+def _scale(experiment_id: str, scale: str) -> Scale:
+    config = get_config(experiment_id)
+    if scale == "small":
+        return config.small
+    if scale in ("paper_shape", "paper"):
+        return config.paper_shape
+    raise KeyError(f"unknown scale {scale!r}; use 'small' or 'paper_shape'")
+
+
+def _emit(rows: List[Dict[str, object]], title: str, quiet: bool) -> None:
+    if not quiet:
+        print()
+        print(format_table(rows, title=title))
+
+
+# --------------------------------------------------------------------- Fig 8
+def run_fig8_cardinality(scale: str = "small", *, quiet: bool = False, seed: int = 0
+                         ) -> List[Dict[str, object]]:
+    """Figure 8: effect of cardinality ``n`` at ``d = 4``.
+
+    Produces the AA-vs-BA comparison on IND (panels a, b), the AA series per
+    distribution (panels c, d) and the induced ``k*`` / ``|T|`` values
+    (panels e, f).  BA is only run up to its cardinality cap, exactly as the
+    paper restricts BA to 10 K records.
+    """
+    workload = _scale("fig8", scale)
+    d = workload.dimensionalities[0]
+    rows: List[Dict[str, object]] = []
+    for distribution in workload.distributions:
+        for n in workload.cardinalities:
+            dataset = generate(distribution, n, d, seed=seed)
+            tree = RStarTree.build(dataset.records)
+            batch = run_batch(
+                dataset, algorithm="aa", queries=workload.queries, seed=seed, tree=tree,
+                label=f"fig8/{distribution}/n={n}",
+            )
+            rows.append(batch.as_row())
+            run_ba = distribution == "IND" and n <= workload.ba_cardinality_cap
+            if run_ba:
+                ba_batch = run_batch(
+                    dataset, algorithm="ba", queries=workload.queries, seed=seed, tree=tree,
+                    label=f"fig8/{distribution}/n={n}",
+                )
+                rows.append(ba_batch.as_row())
+    _emit(rows, "Figure 8 — effect of cardinality n (d = 4)", quiet)
+    return rows
+
+
+# --------------------------------------------------------------------- Fig 9
+def run_fig9_dimensionality(scale: str = "small", *, quiet: bool = False, seed: int = 0
+                            ) -> List[Dict[str, object]]:
+    """Figure 9: effect of dimensionality ``d`` on AA and BA (IND data).
+
+    For ``d = 2`` the paper substitutes FCA for BA and the specialised 2-D AA
+    for AA; this driver does the same.
+    """
+    workload = _scale("fig9", scale)
+    n = workload.cardinalities[0]
+    rows: List[Dict[str, object]] = []
+    for d in workload.dimensionalities:
+        dataset = generate("IND", n, d, seed=seed)
+        tree = RStarTree.build(dataset.records)
+        aa_name = "aa2d" if d == 2 else "aa"
+        rows.append(
+            run_batch(dataset, algorithm=aa_name, queries=workload.queries, seed=seed,
+                      tree=tree, label=f"fig9/d={d}").as_row()
+        )
+        ba_name = "fca" if d == 2 else "ba"
+        ba_dataset = generate("IND", min(n, workload.ba_cardinality_cap), d, seed=seed)
+        ba_tree = RStarTree.build(ba_dataset.records)
+        rows.append(
+            run_batch(ba_dataset, algorithm=ba_name, queries=workload.queries, seed=seed,
+                      tree=ba_tree, label=f"fig9/d={d}").as_row()
+        )
+    _emit(rows, "Figure 9 — effect of dimensionality d (IND)", quiet)
+    return rows
+
+
+# ------------------------------------------------------------------- Table 3
+def run_table3_dimensionality(scale: str = "small", *, quiet: bool = False, seed: int = 0
+                              ) -> List[Dict[str, object]]:
+    """Table 3: ``k*`` and ``|T|`` versus dimensionality (IND, AA)."""
+    workload = _scale("table3", scale)
+    n = workload.cardinalities[0]
+    rows: List[Dict[str, object]] = []
+    for d in workload.dimensionalities:
+        dataset = generate("IND", n, d, seed=seed)
+        algorithm = "aa2d" if d == 2 else "aa"
+        batch = run_batch(dataset, algorithm=algorithm, queries=workload.queries, seed=seed,
+                          label=f"table3/d={d}")
+        rows.append({"d": d, "k_star": batch.mean_k_star, "regions": batch.mean_regions,
+                     "cpu_s": batch.mean_cpu, "io": batch.mean_io})
+    _emit(rows, "Table 3 — effect of dimensionality on k* and |T| (IND)", quiet)
+    return rows
+
+
+# ------------------------------------------------------------------- Table 4
+def run_table4_real_datasets(scale: str = "small", *, quiet: bool = False, seed: int = 0
+                             ) -> List[Dict[str, object]]:
+    """Table 4: AA on the simulated real datasets.
+
+    For the high-dimensional datasets (NBA, PITCH, BAT — 8 or 9 attributes)
+    the cardinality is reduced further and focal records are drawn from the
+    competitive decile (``focal_strategy="strong"``): a central record's
+    result at ``d ≥ 8`` has so many regions that pure-Python processing is
+    impractical.  The deviation is recorded in EXPERIMENTS.md.
+    """
+    workload = _scale("table4", scale)
+    cardinality = workload.cardinalities[0]
+    rows: List[Dict[str, object]] = []
+    for name, spec in REAL_DATASETS.items():
+        n = min(cardinality, spec.default_n) if scale == "small" else spec.default_n
+        strategy = "central" if spec.d <= 6 else "strong"
+        if spec.d >= 7:
+            n = min(n, 400 if scale == "small" else 800)
+        dataset = load_real_dataset(name, n=n, seed=seed)
+        batch = run_batch(dataset, algorithm="aa", queries=workload.queries, seed=seed,
+                          label=f"table4/{name}", focal_strategy=strategy)
+        rows.append({
+            "dataset": f"{name} ({spec.d}d)",
+            "n": dataset.n,
+            "k_star": batch.mean_k_star,
+            "regions": batch.mean_regions,
+            "cpu_s": batch.mean_cpu,
+            "io": batch.mean_io,
+        })
+    _emit(rows, "Table 4 — AA on (simulated) real datasets", quiet)
+    return rows
+
+
+# -------------------------------------------------------------------- Fig 10
+def run_fig10_imaxrank(scale: str = "small", *, quiet: bool = False, seed: int = 0
+                       ) -> List[Dict[str, object]]:
+    """Figure 10: iMaxRank cost and result size versus ``τ`` (IND and HOTEL)."""
+    workload = _scale("fig10", scale)
+    n = workload.cardinalities[0]
+    d = workload.dimensionalities[0]
+    datasets = {
+        "IND": generate("IND", n, d, seed=seed),
+        "HOTEL": load_real_dataset("HOTEL", n=n, seed=seed),
+    }
+    rows: List[Dict[str, object]] = []
+    for name, dataset in datasets.items():
+        tree = RStarTree.build(dataset.records)
+        for tau in workload.taus:
+            batch = run_batch(dataset, algorithm="aa", queries=workload.queries, seed=seed,
+                              tau=tau, tree=tree, label=f"fig10/{name}/tau={tau}")
+            rows.append({"dataset": name, "tau": tau, "cpu_s": batch.mean_cpu,
+                         "io": batch.mean_io, "regions": batch.mean_regions,
+                         "k_star": batch.mean_k_star})
+    _emit(rows, "Figure 10 — iMaxRank, effect of tau", quiet)
+    return rows
+
+
+# -------------------------------------------------------------------- Fig 11
+def run_fig11_two_dimensions(scale: str = "small", *, quiet: bool = False, seed: int = 0
+                             ) -> List[Dict[str, object]]:
+    """Figure 11: FCA versus the 2-dimensional AA on IND/COR/ANTI."""
+    workload = _scale("fig11", scale)
+    n = workload.cardinalities[0]
+    rows: List[Dict[str, object]] = []
+    for distribution in workload.distributions:
+        dataset = generate(distribution, n, 2, seed=seed)
+        tree = RStarTree.build(dataset.records)
+        for algorithm in ("aa2d", "fca"):
+            batch = run_batch(dataset, algorithm=algorithm, queries=workload.queries, seed=seed,
+                              tree=tree, label=f"fig11/{distribution}")
+            rows.append({"distribution": distribution, "algorithm": algorithm,
+                         "cpu_s": batch.mean_cpu, "io": batch.mean_io,
+                         "k_star": batch.mean_k_star, "regions": batch.mean_regions})
+    _emit(rows, "Figure 11 — FCA vs AA in the special case d = 2", quiet)
+    return rows
+
+
+# -------------------------------------------------------------------- Fig 12
+def run_fig12_score_ratio(scale: str = "small", *, quiet: bool = False, seed: int = 0
+                          ) -> List[Dict[str, object]]:
+    """Figure 12 (appendix): MaxScore/MinScore ratio versus dimensionality."""
+    workload = _scale("fig12", scale)
+    n = workload.cardinalities[0]
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, object]] = []
+    for d in workload.dimensionalities:
+        dataset = generate("IND", n, d, seed=seed)
+        ratios = []
+        for _ in range(workload.queries):
+            query = random_permissible_vector(d, rng)
+            ratios.append(score_ratio(dataset, query))
+        rows.append({"d": d, "ratio": float(np.mean(ratios))})
+    _emit(rows, "Figure 12 — MaxScore/MinScore ratio vs dimensionality (IND)", quiet)
+    return rows

@@ -1,0 +1,90 @@
+"""Plain-text reporting of experiment results.
+
+The paper presents results as figures (series over a swept parameter) and
+tables.  This reproduction prints the same content as aligned text tables so
+the benchmark output can be diffed against the expectations recorded in
+EXPERIMENTS.md without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "print_table", "print_series"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Format dictionaries as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per row.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    float_format:
+        Format applied to float values.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered
+    )
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.extend([header, separator, body])
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Format one or more metric series over a swept parameter as a table."""
+    rows: List[Dict[str, object]] = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, [x_label, *series.keys()], title=title, float_format=float_format)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,
+                *, title: Optional[str] = None) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns, title=title))
+
+
+def print_series(x_label: str, x_values: Sequence[object],
+                 series: Mapping[str, Sequence[float]], *, title: Optional[str] = None) -> None:
+    """Print :func:`format_series` output."""
+    print(format_series(x_label, x_values, series, title=title))

@@ -1,0 +1,169 @@
+"""Workload configurations for the paper's experiments.
+
+The paper sweeps three parameters (Table 2): dataset cardinality ``n``
+(100 K – 10 M), dimensionality ``d`` (2 – 8) and the iMaxRank slack ``τ``
+(0 – 5), over three synthetic distributions and five real datasets.  A pure
+Python substrate cannot run at those cardinalities in reasonable time, so
+every experiment has two scales:
+
+* ``SMALL`` — the default used by the test suite and the pytest-benchmark
+  targets; finishes in minutes on a laptop.
+* ``PAPER_SHAPE`` — a larger sweep that tracks the paper's parameter ranges
+  more closely (still scaled down); used when regenerating EXPERIMENTS.md.
+
+The *shape* of the results (which algorithm wins, how metrics trend with the
+swept parameter) is the reproduction target, not absolute values; see
+DESIGN.md § Substitutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Scale", "ExperimentConfig", "CONFIGS", "get_config"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One scale (small or paper-shape) of an experiment sweep."""
+
+    cardinalities: Tuple[int, ...] = ()
+    dimensionalities: Tuple[int, ...] = ()
+    taus: Tuple[int, ...] = ()
+    queries: int = 3
+    distributions: Tuple[str, ...] = ("IND",)
+    ba_cardinality_cap: int = 400
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Description of one paper experiment and its scaled workloads."""
+
+    experiment_id: str
+    paper_reference: str
+    description: str
+    small: Scale
+    paper_shape: Scale
+
+
+CONFIGS: Dict[str, ExperimentConfig] = {
+    "fig8": ExperimentConfig(
+        experiment_id="fig8",
+        paper_reference="Figure 8 (a)-(f)",
+        description="Effect of dataset cardinality n at d=4: AA vs BA (IND), "
+        "AA across IND/COR/ANTI, and the induced k*/|T| values.",
+        small=Scale(
+            cardinalities=(150, 300, 600),
+            dimensionalities=(4,),
+            queries=2,
+            distributions=("IND", "COR", "ANTI"),
+            ba_cardinality_cap=150,
+        ),
+        paper_shape=Scale(
+            cardinalities=(400, 800, 1600, 3200),
+            dimensionalities=(4,),
+            queries=4,
+            distributions=("IND", "COR", "ANTI"),
+            ba_cardinality_cap=400,
+        ),
+    ),
+    "fig9": ExperimentConfig(
+        experiment_id="fig9",
+        paper_reference="Figure 9 (a)-(b)",
+        description="Effect of dimensionality d on AA and BA (IND data).",
+        small=Scale(
+            cardinalities=(300,),
+            dimensionalities=(2, 3, 4),
+            queries=2,
+            distributions=("IND",),
+            ba_cardinality_cap=120,
+        ),
+        paper_shape=Scale(
+            cardinalities=(1000,),
+            dimensionalities=(2, 3, 4, 5, 6),
+            queries=3,
+            distributions=("IND",),
+            ba_cardinality_cap=300,
+        ),
+    ),
+    "table3": ExperimentConfig(
+        experiment_id="table3",
+        paper_reference="Table 3",
+        description="k* and |T| versus dimensionality (IND data, AA).",
+        small=Scale(
+            cardinalities=(300,),
+            dimensionalities=(2, 3, 4),
+            queries=2,
+        ),
+        paper_shape=Scale(
+            cardinalities=(1000,),
+            dimensionalities=(2, 3, 4, 5, 6),
+            queries=3,
+        ),
+    ),
+    "table4": ExperimentConfig(
+        experiment_id="table4",
+        paper_reference="Table 4",
+        description="AA on the (simulated) real datasets HOTEL/HOUSE/NBA/PITCH/BAT.",
+        small=Scale(cardinalities=(600,), queries=1),
+        paper_shape=Scale(cardinalities=(2000,), queries=3),
+    ),
+    "fig10": ExperimentConfig(
+        experiment_id="fig10",
+        paper_reference="Figure 10 (a)-(c)",
+        description="iMaxRank: CPU, I/O and |T| versus tau on IND and HOTEL.",
+        small=Scale(
+            cardinalities=(250,),
+            dimensionalities=(4,),
+            taus=(0, 1, 2),
+            queries=2,
+        ),
+        paper_shape=Scale(
+            cardinalities=(800,),
+            dimensionalities=(4,),
+            taus=(0, 1, 2, 3, 4, 5),
+            queries=3,
+        ),
+    ),
+    "fig11": ExperimentConfig(
+        experiment_id="fig11",
+        paper_reference="Figure 11 (a)-(b)",
+        description="FCA versus the 2-dimensional AA on IND/COR/ANTI (d=2).",
+        small=Scale(
+            cardinalities=(1500,),
+            dimensionalities=(2,),
+            queries=2,
+            distributions=("IND", "COR", "ANTI"),
+        ),
+        paper_shape=Scale(
+            cardinalities=(8000,),
+            dimensionalities=(2,),
+            queries=5,
+            distributions=("IND", "COR", "ANTI"),
+        ),
+    ),
+    "fig12": ExperimentConfig(
+        experiment_id="fig12",
+        paper_reference="Figure 12 (appendix)",
+        description="MaxScore/MinScore ratio versus dimensionality (IND).",
+        small=Scale(
+            cardinalities=(5000,),
+            dimensionalities=tuple(range(2, 13)),
+            queries=5,
+        ),
+        paper_shape=Scale(
+            cardinalities=(20000,),
+            dimensionalities=tuple(range(2, 21)),
+            queries=10,
+        ),
+    ),
+}
+
+
+def get_config(experiment_id: str) -> ExperimentConfig:
+    """Look up an experiment configuration by id (``fig8`` ... ``fig12``, ``table3``/``table4``)."""
+    key = experiment_id.lower()
+    if key not in CONFIGS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; choose one of {sorted(CONFIGS)}")
+    return CONFIGS[key]

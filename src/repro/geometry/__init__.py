@@ -1,0 +1,36 @@
+"""Geometry substrate: half-spaces, polytopes, intervals and LP feasibility."""
+
+from .arrangement import ArrangementCell, enumerate_cells, minimum_order_cells
+from .clipping import box_polygon, clip_polygon, polygon_area, polygon_centroid
+from .halfspace import (
+    BoxRelation,
+    Halfspace,
+    halfspace_for_record,
+    lift_query_vector,
+    reduce_query_vector,
+    reduced_space_constraints,
+)
+from .interval import Interval, IntervalSet
+from .lp import FeasibilityResult, find_interior_point
+from .polytope import ConvexPolytope
+
+__all__ = [
+    "Halfspace",
+    "BoxRelation",
+    "halfspace_for_record",
+    "reduced_space_constraints",
+    "reduce_query_vector",
+    "lift_query_vector",
+    "ConvexPolytope",
+    "Interval",
+    "IntervalSet",
+    "FeasibilityResult",
+    "find_interior_point",
+    "ArrangementCell",
+    "enumerate_cells",
+    "minimum_order_cells",
+    "box_polygon",
+    "clip_polygon",
+    "polygon_area",
+    "polygon_centroid",
+]

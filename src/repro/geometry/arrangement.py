@@ -1,0 +1,161 @@
+"""Reference (exhaustive) arrangement enumeration for small inputs.
+
+The paper's Lemma 1 / Corollary 1 reduce MaxRank to finding the cells of the
+arrangement of the incomparable records' half-spaces that are contained in
+the fewest half-spaces.  Computing the complete arrangement is intractable
+(``O(n^d)``), which is why the paper builds BA and AA — but for *small*
+inputs an exhaustive enumeration over sign vectors is perfectly feasible and
+provides an independent ground truth for testing the optimised algorithms.
+
+:func:`enumerate_cells` walks the ``2^m`` candidate sign vectors (``m`` being
+the number of half-spaces), prunes prefixes whose partial intersection is
+already empty, and reports every non-empty cell together with its order and a
+witness interior point.  :func:`minimum_order_cells` keeps only the cells of
+minimum order, i.e. the MaxRank answer in the reduced query space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from .halfspace import Halfspace, reduced_space_constraints
+from .lp import find_interior_point
+
+__all__ = ["ArrangementCell", "enumerate_cells", "minimum_order_cells"]
+
+#: Enumeration above this number of half-spaces would be astronomically
+#: expensive; the reference oracle refuses rather than hang.
+MAX_HALFSPACES = 22
+
+
+@dataclass(frozen=True)
+class ArrangementCell:
+    """One non-empty cell of a half-space arrangement.
+
+    Attributes
+    ----------
+    bits:
+        Tuple of 0/1 flags aligned with the input half-spaces; 1 means the
+        cell lies inside that half-space.
+    order:
+        Number of half-spaces containing the cell (the Hamming weight).
+    interior_point:
+        A witness point strictly inside the cell.
+    """
+
+    bits: Tuple[int, ...]
+    order: int
+    interior_point: np.ndarray
+
+    def inside_ids(self, halfspaces: Sequence[Halfspace]) -> List[Optional[int]]:
+        """Record ids of the half-spaces that contain this cell."""
+        return [h.record_id for h, bit in zip(halfspaces, self.bits) if bit]
+
+
+def _constraints_for(
+    halfspaces: Sequence[Halfspace], bits: Sequence[int]
+) -> List[Halfspace]:
+    chosen: List[Halfspace] = []
+    for h, bit in zip(halfspaces, bits):
+        chosen.append(h if bit else h.complement())
+    return chosen
+
+
+def enumerate_cells(
+    halfspaces: Sequence[Halfspace],
+    *,
+    lower: Optional[Sequence[float]] = None,
+    upper: Optional[Sequence[float]] = None,
+    restrict_to_simplex: bool = True,
+    max_order: Optional[int] = None,
+) -> List[ArrangementCell]:
+    """Enumerate every non-empty cell of the arrangement of ``halfspaces``.
+
+    Parameters
+    ----------
+    halfspaces:
+        The half-spaces of the arrangement (at most :data:`MAX_HALFSPACES`).
+    lower, upper:
+        Bounding box of the reduced query space (defaults to the unit box).
+    restrict_to_simplex:
+        When true (default) the permissibility constraints ``x_i > 0`` and
+        ``Σ x_i < 1`` are added, as required by the paper's query space.
+    max_order:
+        If given, cells of order above this bound are not reported (their
+        branches are still explored only as far as necessary).
+
+    Returns
+    -------
+    list[ArrangementCell]
+        All (reported) non-empty cells, in lexicographic bit order.
+    """
+    halfspaces = list(halfspaces)
+    if not halfspaces:
+        raise GeometryError("enumerate_cells needs at least one half-space")
+    m = len(halfspaces)
+    if m > MAX_HALFSPACES:
+        raise GeometryError(
+            f"refusing to enumerate 2^{m} cells; the reference arrangement is "
+            f"limited to {MAX_HALFSPACES} half-spaces"
+        )
+    dim = halfspaces[0].dim
+    lo = np.zeros(dim) if lower is None else np.asarray(lower, dtype=float)
+    hi = np.ones(dim) if upper is None else np.asarray(upper, dtype=float)
+    base: List[Halfspace] = []
+    if restrict_to_simplex:
+        base.extend(reduced_space_constraints(dim))
+
+    cells: List[ArrangementCell] = []
+
+    def recurse(index: int, bits: List[int]) -> None:
+        constraints = base + _constraints_for(halfspaces[:index], bits)
+        partial = find_interior_point(constraints, lo, hi)
+        if not partial.feasible:
+            return
+        if index == m:
+            order = sum(bits)
+            if max_order is not None and order > max_order:
+                return
+            cells.append(
+                ArrangementCell(bits=tuple(bits), order=order, interior_point=partial.point)
+            )
+            return
+        if max_order is not None and sum(bits) > max_order:
+            # Only the 0-branch can still respect the order budget.
+            recurse(index + 1, bits + [0])
+            return
+        recurse(index + 1, bits + [0])
+        recurse(index + 1, bits + [1])
+
+    recurse(0, [])
+    return cells
+
+
+def minimum_order_cells(
+    halfspaces: Sequence[Halfspace],
+    *,
+    lower: Optional[Sequence[float]] = None,
+    upper: Optional[Sequence[float]] = None,
+    restrict_to_simplex: bool = True,
+    slack: int = 0,
+) -> Tuple[int, List[ArrangementCell]]:
+    """Return ``(minimum order, cells)`` of the arrangement.
+
+    With ``slack > 0`` (the iMaxRank case) every cell of order at most
+    ``minimum order + slack`` is returned.
+    """
+    cells = enumerate_cells(
+        halfspaces,
+        lower=lower,
+        upper=upper,
+        restrict_to_simplex=restrict_to_simplex,
+    )
+    if not cells:
+        return 0, []
+    best = min(cell.order for cell in cells)
+    kept = [cell for cell in cells if cell.order <= best + slack]
+    return best, kept

@@ -1,0 +1,91 @@
+"""Exact polygon clipping for the 2-dimensional reduced query space.
+
+When the data dimensionality is ``d = 3`` the reduced query space is a plane
+and every arrangement cell is a convex polygon.  Deciding cell emptiness and
+computing cell extents can then be done exactly — and much faster than with a
+linear program — by Sutherland–Hodgman clipping of the quad-tree leaf box
+against the half-planes of the cell's bit-string.
+
+The functions here operate on ``(m, 2)`` vertex arrays in counter-clockwise
+order.  Degenerate results (area below :data:`MIN_AREA`) are reported as
+empty, mirroring the strict-inequality semantics of the arrangement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+from .halfspace import Halfspace
+
+__all__ = ["box_polygon", "clip_polygon", "polygon_area", "polygon_centroid", "MIN_AREA"]
+
+#: Polygons with area below this threshold are considered empty (they
+#: correspond to tie hyperplanes, which carry no query-space area).
+MIN_AREA = 1e-16
+
+
+def box_polygon(lower: Sequence[float], upper: Sequence[float]) -> np.ndarray:
+    """Return the CCW vertex array of an axis-aligned 2-D box."""
+    lo = np.asarray(lower, dtype=float).ravel()
+    hi = np.asarray(upper, dtype=float).ravel()
+    if lo.shape[0] != 2 or hi.shape[0] != 2:
+        raise GeometryError("box_polygon is only defined for 2-D boxes")
+    return np.array(
+        [[lo[0], lo[1]], [hi[0], lo[1]], [hi[0], hi[1]], [lo[0], hi[1]]], dtype=float
+    )
+
+
+def clip_polygon(vertices: np.ndarray, halfspace: Halfspace) -> Optional[np.ndarray]:
+    """Clip a convex polygon against ``a · x > b`` (kept side: ``a · x ≥ b``).
+
+    Returns the clipped vertex array, or ``None`` when nothing remains.
+    The boundary is kept; emptiness of the *open* half-space intersection is
+    decided afterwards by an area threshold (see :func:`polygon_area`).
+    """
+    if vertices is None or len(vertices) == 0:
+        return None
+    a = halfspace.coefficients
+    b = halfspace.offset
+    if a.shape[0] != 2:
+        raise GeometryError("clip_polygon requires 2-D half-spaces")
+    values = vertices @ a - b
+    output = []
+    m = len(vertices)
+    for i in range(m):
+        current, nxt = vertices[i], vertices[(i + 1) % m]
+        val_c, val_n = values[i], values[(i + 1) % m]
+        if val_c >= 0:
+            output.append(current)
+        # Edge crosses the supporting line: add the intersection point.
+        if (val_c > 0 and val_n < 0) or (val_c < 0 and val_n > 0):
+            t = val_c / (val_c - val_n)
+            output.append(current + t * (nxt - current))
+    if len(output) < 3:
+        return None
+    return np.asarray(output, dtype=float)
+
+
+def polygon_area(vertices: Optional[np.ndarray]) -> float:
+    """Signed-area magnitude of a polygon (0.0 for ``None`` or degenerate input)."""
+    if vertices is None or len(vertices) < 3:
+        return 0.0
+    x = vertices[:, 0]
+    y = vertices[:, 1]
+    return float(abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))) / 2.0)
+
+
+def polygon_centroid(vertices: np.ndarray) -> np.ndarray:
+    """Centroid of a non-degenerate convex polygon."""
+    area = polygon_area(vertices)
+    if area <= MIN_AREA:
+        raise GeometryError("cannot compute the centroid of a degenerate polygon")
+    x = vertices[:, 0]
+    y = vertices[:, 1]
+    cross = x * np.roll(y, -1) - np.roll(x, -1) * y
+    signed_area = float(np.sum(cross)) / 2.0
+    cx = float(np.sum((x + np.roll(x, -1)) * cross)) / (6.0 * signed_area)
+    cy = float(np.sum((y + np.roll(y, -1)) * cross)) / (6.0 * signed_area)
+    return np.array([cx, cy])

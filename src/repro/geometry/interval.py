@@ -1,0 +1,149 @@
+"""1-dimensional interval arithmetic for the ``d = 2`` reduced query space.
+
+When the data dimensionality is 2 the reduced query space is the open
+interval ``q_1 ∈ (0, 1)`` and every half-space degenerates into a half-line
+``q_1 > v`` (direction →) or ``q_1 < v`` (direction ←).  Both the first-cut
+algorithm (FCA, Section 4) and the specialised 2-D advanced approach
+(Section 6.3) represent MaxRank result regions as unions of such intervals.
+
+:class:`Interval` is a simple open interval; :class:`IntervalSet` keeps a
+normalised (sorted, merged) list of disjoint intervals and supports the
+operations the algorithms and tests need: union, intersection, membership,
+total length and sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+
+__all__ = ["Interval", "IntervalSet"]
+
+#: Intervals narrower than this are treated as empty (tie points).
+MIN_LENGTH = 1e-12
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An open interval ``(low, high)`` of the 1-D reduced query space."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.low) or not np.isfinite(self.high):
+            raise GeometryError("interval bounds must be finite")
+
+    @property
+    def length(self) -> float:
+        """Interval length (0 when degenerate or inverted)."""
+        return max(0.0, self.high - self.low)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the open interval contains no usable width."""
+        return self.length <= MIN_LENGTH
+
+    @property
+    def midpoint(self) -> float:
+        """Centre of the interval."""
+        return (self.low + self.high) / 2.0
+
+    def contains(self, value: float, *, tol: float = 0.0) -> bool:
+        """Strict containment test (open interval)."""
+        return self.low + tol < value < self.high - tol
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection with another interval, or ``None`` when empty."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        candidate = Interval(low, high)
+        return None if candidate.is_empty else candidate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.low:.6g}, {self.high:.6g})"
+
+
+class IntervalSet:
+    """A normalised union of disjoint open intervals."""
+
+    def __init__(self, intervals: Optional[Iterable[Interval | Tuple[float, float]]] = None):
+        items: List[Interval] = []
+        for entry in intervals or []:
+            interval = entry if isinstance(entry, Interval) else Interval(*entry)
+            if not interval.is_empty:
+                items.append(interval)
+        self._intervals = self._normalise(items)
+
+    @staticmethod
+    def _normalise(items: List[Interval]) -> List[Interval]:
+        if not items:
+            return []
+        items = sorted(items, key=lambda iv: (iv.low, iv.high))
+        merged: List[Interval] = [items[0]]
+        for interval in items[1:]:
+            last = merged[-1]
+            if interval.low <= last.high + MIN_LENGTH:
+                merged[-1] = Interval(last.low, max(last.high, interval.high))
+            else:
+                merged.append(interval)
+        return [iv for iv in merged if not iv.is_empty]
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def intervals(self) -> List[Interval]:
+        """The disjoint intervals, sorted by lower bound."""
+        return list(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self):
+        return iter(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    @property
+    def total_length(self) -> float:
+        """Sum of the lengths of all member intervals."""
+        return float(sum(iv.length for iv in self._intervals))
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies strictly inside some member interval."""
+        return any(iv.contains(value) for iv in self._intervals)
+
+    # ------------------------------------------------------------ operations
+    def union(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        """Union with another interval or interval set."""
+        extra = other.intervals if isinstance(other, IntervalSet) else [other]
+        return IntervalSet(self._intervals + extra)
+
+    def intersect(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        """Intersection with another interval or interval set."""
+        others = other.intervals if isinstance(other, IntervalSet) else [other]
+        pieces: List[Interval] = []
+        for mine in self._intervals:
+            for theirs in others:
+                overlap = mine.intersect(theirs)
+                if overlap is not None:
+                    pieces.append(overlap)
+        return IntervalSet(pieces)
+
+    def sample_points(self, per_interval: int = 1, rng: Optional[np.random.Generator] = None
+                      ) -> List[float]:
+        """Return sample points from each interval (midpoint plus random draws)."""
+        rng = rng or np.random.default_rng(0)
+        points: List[float] = []
+        for interval in self._intervals:
+            points.append(interval.midpoint)
+            for _ in range(max(0, per_interval - 1)):
+                points.append(float(rng.uniform(interval.low, interval.high)))
+        return points
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "IntervalSet[" + ", ".join(repr(iv) for iv in self._intervals) + "]"

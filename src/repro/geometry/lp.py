@@ -1,0 +1,217 @@
+"""Strict feasibility of open half-space intersections.
+
+Cells of the half-space arrangement are intersections of open half-spaces
+clipped to a quad-tree leaf (an axis-aligned box).  Deciding whether such a
+cell has non-empty interior — and producing a witness point inside it — is
+the work-horse primitive of within-leaf processing (paper, Section 5.2),
+replacing the authors' use of the Qhull library.
+
+Strict feasibility is decided with a *maximum-slack* program: find a point
+``x`` and a slack ``ε ≥ 0`` maximal such that ``a_j · x ≥ b_j + ε · ||a_j||``
+for every half-space ``j`` and ``lower + ε ≤ x ≤ upper − ε``.  The system of
+open inequalities has an interior point exactly when the optimal ``ε`` is
+strictly positive; the normalisation gives ``ε`` the geometric meaning of an
+inscribed-ball radius, so the witness point is numerically well inside the
+cell.
+
+Because a single MaxRank query performs thousands of these tests on systems
+with only a handful of variables, the solver matters: the default engine is
+the library's own Seidel randomised LP (:mod:`repro.geometry.seidel`), with
+cheap vectorised accept/reject screens in front of it.  ``scipy``'s HiGHS
+solver remains available via ``engine="scipy"`` and is used by the tests to
+cross-check the Seidel results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from .halfspace import Halfspace
+from .seidel import solve_lp
+
+__all__ = [
+    "FeasibilityResult",
+    "find_interior_point",
+    "find_interior_point_arrays",
+    "MIN_INTERIOR_RADIUS",
+]
+
+#: A cell narrower than this inscribed radius is treated as empty.  The paper
+#: ignores score ties; degenerate slivers of (near) zero measure correspond to
+#: tie hyperplanes and carry no query-space area.
+MIN_INTERIOR_RADIUS = 1e-9
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome of a strict-feasibility test.
+
+    Attributes
+    ----------
+    feasible:
+        True when the open intersection has an interior point.
+    point:
+        A witness interior point (None when infeasible).
+    radius:
+        The radius of the largest inscribed ball found (0 when infeasible).
+    """
+
+    feasible: bool
+    point: Optional[np.ndarray]
+    radius: float
+
+
+_INFEASIBLE = FeasibilityResult(False, None, 0.0)
+
+
+def find_interior_point_arrays(
+    A: np.ndarray,
+    b: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    min_radius: float = MIN_INTERIOR_RADIUS,
+    counters=None,
+    engine: str = "seidel",
+) -> FeasibilityResult:
+    """Find an interior point of ``{x : A x > b} ∩ [lower, upper]``.
+
+    Array-based fast path used by within-leaf processing.  ``A`` is an
+    ``(m, k)`` matrix (``m`` may be zero), ``b`` an ``(m,)`` vector and the
+    box bounds ``k``-vectors.
+    """
+    dim = int(lower.shape[0])
+    extent = upper - lower
+    if np.any(extent <= 0):
+        return _INFEASIBLE
+    box_radius = float(extent.min()) / 2.0
+    centre = (lower + upper) / 2.0
+
+    if A.shape[0] == 0:
+        return FeasibilityResult(True, centre, box_radius)
+
+    norms = np.sqrt(np.einsum("ij,ij->i", A, A))
+    norms = np.where(norms > 0, norms, 1.0)
+
+    # Quick reject: some half-space cannot be satisfied anywhere in the box.
+    max_vals = np.where(A > 0, A * upper, A * lower).sum(axis=1)
+    if np.any(max_vals <= b + min_radius * norms):
+        return _INFEASIBLE
+
+    # Quick accept: the box centre is already comfortably inside everything.
+    margins = (A @ centre - b) / norms
+    radius = float(min(margins.min(), box_radius))
+    if radius > 10.0 * min_radius:
+        return FeasibilityResult(True, centre, radius)
+
+    if counters is not None:
+        counters.lp_calls += 1
+
+    if engine == "scipy":
+        return _solve_with_scipy(A, b, norms, lower, upper, min_radius)
+    return _solve_with_seidel(A, b, norms, lower, upper, min_radius)
+
+
+def _solve_with_seidel(
+    A: np.ndarray,
+    b: np.ndarray,
+    norms: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    min_radius: float,
+) -> FeasibilityResult:
+    """Max-slack feasibility via the library's Seidel LP solver."""
+    dim = int(lower.shape[0])
+    max_slack = float(np.max(upper - lower))
+    constraints = []
+    # a · x - ||a|| t >= b   ->   -a · x + ||a|| t <= -b
+    for row, offset, norm in zip(A, b, norms):
+        constraints.append(([*(-row), float(norm)], float(-offset)))
+    # Keep the witness off the box boundary as well:  x_i ± t within bounds.
+    for i in range(dim):
+        grow = [0.0] * (dim + 1)
+        grow[i] = 1.0
+        grow[dim] = 1.0
+        constraints.append((grow, float(upper[i])))
+        shrink = [0.0] * (dim + 1)
+        shrink[i] = -1.0
+        shrink[dim] = 1.0
+        constraints.append((shrink, float(-lower[i])))
+    objective = [0.0] * dim + [1.0]
+    solution = solve_lp(
+        constraints,
+        objective,
+        [*lower, 0.0],
+        [*upper, max_slack],
+    )
+    if solution is None:
+        return _INFEASIBLE
+    radius = float(solution[-1])
+    if radius <= min_radius:
+        return _INFEASIBLE
+    return FeasibilityResult(True, np.asarray(solution[:dim], dtype=float), radius)
+
+
+def _solve_with_scipy(
+    A: np.ndarray,
+    b: np.ndarray,
+    norms: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    min_radius: float,
+) -> FeasibilityResult:
+    """Max-slack feasibility via ``scipy.optimize.linprog`` (cross-check engine)."""
+    from scipy.optimize import linprog
+
+    dim = int(lower.shape[0])
+    n_var = dim + 1
+    c = np.zeros(n_var)
+    c[-1] = -1.0
+    A_ub = np.hstack([-A, norms.reshape(-1, 1)])
+    b_ub = -b
+    bounds = [(float(l), float(h)) for l, h in zip(lower, upper)]
+    bounds.append((0.0, float(np.max(upper - lower))))
+    result = linprog(c, A_ub=A_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        return _INFEASIBLE
+    radius = float(result.x[-1])
+    if radius <= min_radius:
+        return _INFEASIBLE
+    return FeasibilityResult(True, np.asarray(result.x[:dim], dtype=float), radius)
+
+
+def find_interior_point(
+    halfspaces: Sequence[Halfspace],
+    lower: Sequence[float] | np.ndarray,
+    upper: Sequence[float] | np.ndarray,
+    *,
+    min_radius: float = MIN_INTERIOR_RADIUS,
+    counters=None,
+    engine: str = "seidel",
+) -> FeasibilityResult:
+    """Find an interior point of ``{x : a_j · x > b_j} ∩ [lower, upper]``.
+
+    Object-based convenience wrapper around
+    :func:`find_interior_point_arrays`; see that function for semantics.
+    """
+    lo = np.asarray(lower, dtype=float).ravel()
+    hi = np.asarray(upper, dtype=float).ravel()
+    if lo.shape != hi.shape:
+        raise GeometryError("box bounds must have identical shapes")
+    dim = lo.shape[0]
+    halfspaces = list(halfspaces)
+    if halfspaces:
+        A = np.vstack([h.coefficients for h in halfspaces])
+        if A.shape[1] != dim:
+            raise GeometryError("half-space dimensionality does not match the box")
+        b = np.array([h.offset for h in halfspaces], dtype=float)
+    else:
+        A = np.zeros((0, dim))
+        b = np.zeros(0)
+    return find_interior_point_arrays(
+        A, b, lo, hi, min_radius=min_radius, counters=counters, engine=engine
+    )

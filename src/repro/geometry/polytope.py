@@ -1,0 +1,227 @@
+"""Convex polytopes in half-space (H) representation.
+
+MaxRank result regions are convex polytopes of the reduced query space:
+each is the intersection of the half-spaces of the records that outscore the
+focal record, the complements of the remaining half-spaces, the quad-tree
+leaf extent and the permissibility constraints.  This module provides the
+:class:`ConvexPolytope` value object used to report those regions.
+
+The polytope keeps its defining half-spaces plus a bounding box and offers
+the operations the library, examples and tests rely on: interior point /
+non-emptiness (via the max-slack LP in :mod:`repro.geometry.lp`), membership
+tests, vertex enumeration (``scipy.spatial.HalfspaceIntersection``), volume
+estimation and random sampling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+from .halfspace import Halfspace
+from .lp import FeasibilityResult, find_interior_point
+
+__all__ = ["ConvexPolytope"]
+
+
+class ConvexPolytope:
+    """A convex region ``{x : a_j · x > b_j} ∩ [lower, upper]``.
+
+    Parameters
+    ----------
+    halfspaces:
+        Open half-spaces whose intersection defines the region.
+    lower, upper:
+        Axis-aligned bounding box (quad-tree leaf extent or the unit box of
+        the reduced query space).
+    """
+
+    def __init__(
+        self,
+        halfspaces: Sequence[Halfspace],
+        lower: Sequence[float] | np.ndarray,
+        upper: Sequence[float] | np.ndarray,
+    ) -> None:
+        self._halfspaces: List[Halfspace] = list(halfspaces)
+        self._lower = np.asarray(lower, dtype=float).ravel()
+        self._upper = np.asarray(upper, dtype=float).ravel()
+        if self._lower.shape != self._upper.shape:
+            raise GeometryError("polytope box bounds must have matching shapes")
+        for h in self._halfspaces:
+            if h.dim != self.dim:
+                raise GeometryError("all half-spaces must match the box dimensionality")
+        self._feasibility: Optional[FeasibilityResult] = None
+
+    # -------------------------------------------------------------- basic
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the ambient (reduced query) space."""
+        return int(self._lower.shape[0])
+
+    @property
+    def halfspaces(self) -> List[Halfspace]:
+        """The defining open half-spaces (excluding the box bounds)."""
+        return list(self._halfspaces)
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower corner of the bounding box."""
+        return self._lower.copy()
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper corner of the bounding box."""
+        return self._upper.copy()
+
+    # ------------------------------------------------------------ feasibility
+    def _feasible(self) -> FeasibilityResult:
+        if self._feasibility is None:
+            self._feasibility = find_interior_point(
+                self._halfspaces, self._lower, self._upper
+            )
+        return self._feasibility
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the open region has no interior."""
+        return not self._feasible().feasible
+
+    def interior_point(self) -> np.ndarray:
+        """Return a point strictly inside the region.
+
+        Raises :class:`GeometryError` when the region is empty.
+        """
+        result = self._feasible()
+        if not result.feasible or result.point is None:
+            raise GeometryError("the polytope is empty; it has no interior point")
+        return np.asarray(result.point, dtype=float)
+
+    @property
+    def inscribed_radius(self) -> float:
+        """Radius of the largest inscribed ball found by the feasibility LP."""
+        return self._feasible().radius
+
+    def contains(self, point: Sequence[float] | np.ndarray, *, tol: float = 0.0) -> bool:
+        """Strict membership test against half-spaces and box bounds."""
+        x = np.asarray(point, dtype=float).ravel()
+        if x.shape[0] != self.dim:
+            raise GeometryError("point dimensionality does not match the polytope")
+        if np.any(x < self._lower - tol) or np.any(x > self._upper + tol):
+            return False
+        return all(h.contains_point(x, tol=tol) for h in self._halfspaces)
+
+    def intersect(self, halfspace: Halfspace) -> "ConvexPolytope":
+        """Return a new polytope further constrained by ``halfspace``."""
+        return ConvexPolytope(self._halfspaces + [halfspace], self._lower, self._upper)
+
+    # --------------------------------------------------------------- geometry
+    def _box_halfspaces(self) -> List[Halfspace]:
+        constraints: List[Halfspace] = []
+        for i in range(self.dim):
+            axis = np.zeros(self.dim)
+            axis[i] = 1.0
+            constraints.append(Halfspace(axis, float(self._lower[i])))
+            constraints.append(Halfspace(-axis, float(-self._upper[i])))
+        return constraints
+
+    def vertices(self) -> np.ndarray:
+        """Enumerate the vertices of the closed polytope.
+
+        Uses ``scipy.spatial.HalfspaceIntersection`` seeded with the LP
+        interior point.  For a 1-D reduced space, returns the two interval
+        endpoints.  Raises :class:`GeometryError` when the region is empty.
+        """
+        interior = self.interior_point()
+        if self.dim == 1:
+            lo, hi = self._interval_bounds()
+            return np.array([[lo], [hi]])
+        from scipy.spatial import HalfspaceIntersection
+
+        rows = []
+        for h in self._halfspaces + self._box_halfspaces():
+            # scipy expects rows  [A | b]  encoding  A x + b <= 0, i.e.
+            # -a · x + offset <= 0  for our  a · x >= offset.
+            rows.append(np.append(-h.coefficients, h.offset))
+        matrix = np.asarray(rows, dtype=float)
+        try:
+            intersection = HalfspaceIntersection(matrix, interior)
+        except Exception as exc:  # pragma: no cover - numerical corner cases
+            raise GeometryError(f"vertex enumeration failed: {exc}") from exc
+        return np.unique(np.round(intersection.intersections, 12), axis=0)
+
+    def _interval_bounds(self) -> tuple:
+        """Exact bounds for the 1-D case."""
+        lo = float(self._lower[0])
+        hi = float(self._upper[0])
+        for h in self._halfspaces:
+            a = float(h.coefficients[0])
+            bound = h.offset / a
+            if a > 0:
+                lo = max(lo, bound)
+            else:
+                hi = min(hi, bound)
+        return lo, hi
+
+    def volume(self, *, samples: int = 4096, rng: Optional[np.random.Generator] = None) -> float:
+        """Estimate the region volume.
+
+        For 1-D the length is exact; for 2-D the polygon area is exact (via
+        the convex hull of the vertices); for higher dimensions a Monte-Carlo
+        estimate over the bounding box is returned.
+        """
+        if self.is_empty:
+            return 0.0
+        if self.dim == 1:
+            lo, hi = self._interval_bounds()
+            return max(0.0, hi - lo)
+        if self.dim == 2:
+            from scipy.spatial import ConvexHull
+
+            verts = self.vertices()
+            if len(verts) < 3:
+                return 0.0
+            return float(ConvexHull(verts).volume)
+        rng = rng or np.random.default_rng(0)
+        points = rng.uniform(self._lower, self._upper, size=(samples, self.dim))
+        box_volume = float(np.prod(self._upper - self._lower))
+        if not self._halfspaces:
+            return box_volume
+        inside = np.ones(samples, dtype=bool)
+        for h in self._halfspaces:
+            inside &= points @ h.coefficients > h.offset
+        return box_volume * float(inside.mean())
+
+    def sample(self, count: int = 1, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw ``count`` points from the region by rejection around the interior point."""
+        if self.is_empty:
+            raise GeometryError("cannot sample from an empty polytope")
+        rng = rng or np.random.default_rng(0)
+        interior = self.interior_point()
+        samples: List[np.ndarray] = []
+        attempts = 0
+        max_attempts = 200 * count
+        while len(samples) < count and attempts < max_attempts:
+            attempts += 1
+            candidate = rng.uniform(self._lower, self._upper)
+            if self.contains(candidate):
+                samples.append(candidate)
+        radius = max(self.inscribed_radius * 0.9, 0.0)
+        while len(samples) < count:
+            # Fall back to the inscribed ball around the interior point,
+            # which is guaranteed to lie inside the region.
+            direction = rng.normal(size=self.dim)
+            norm = float(np.linalg.norm(direction))
+            if norm == 0.0:
+                samples.append(interior.copy())
+                continue
+            direction /= norm
+            samples.append(interior + direction * rng.uniform(0.0, radius))
+        return np.asarray(samples[:count])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConvexPolytope(dim={self.dim}, halfspaces={len(self._halfspaces)}, "
+            f"empty={self.is_empty})"
+        )

@@ -1,0 +1,15 @@
+"""Spatial index substrate: MBRs, R*-tree nodes, the R*-tree and disk simulation."""
+
+from .diskio import DEFAULT_PAGE_SIZE, DiskSimulator
+from .mbr import MBR
+from .node import LeafEntry, RStarNode
+from .rstar import RStarTree
+
+__all__ = [
+    "MBR",
+    "LeafEntry",
+    "RStarNode",
+    "RStarTree",
+    "DiskSimulator",
+    "DEFAULT_PAGE_SIZE",
+]

@@ -1,0 +1,145 @@
+"""Minimum bounding rectangles (MBRs) for the R*-tree.
+
+An MBR is the axis-aligned bounding box of a set of points or child boxes.
+The R*-tree insertion heuristics reason about MBR area, margin (perimeter),
+overlap and enlargement; the query algorithms (range counting, BBS skyline)
+reason about containment, intersection and dominance-oriented lower bounds.
+All of that geometry is collected here so the node and tree modules stay
+focused on structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import IndexError_
+
+__all__ = ["MBR"]
+
+
+@dataclass(frozen=True)
+class MBR:
+    """An axis-aligned box ``[lower, upper]`` (closed on both sides)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __init__(self, lower: Sequence[float] | np.ndarray, upper: Sequence[float] | np.ndarray):
+        lo = np.asarray(lower, dtype=float).ravel().copy()
+        hi = np.asarray(upper, dtype=float).ravel().copy()
+        if lo.shape != hi.shape:
+            raise IndexError_("MBR bounds must have identical shapes")
+        if np.any(hi < lo):
+            raise IndexError_("MBR upper bound must not be below the lower bound")
+        lo.setflags(write=False)
+        hi.setflags(write=False)
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", hi)
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_point(cls, point: Sequence[float] | np.ndarray) -> "MBR":
+        """Degenerate MBR covering a single point."""
+        p = np.asarray(point, dtype=float).ravel()
+        return cls(p, p)
+
+    @classmethod
+    def union_of(cls, boxes: Iterable["MBR"]) -> "MBR":
+        """Smallest MBR enclosing all ``boxes``."""
+        boxes = list(boxes)
+        if not boxes:
+            raise IndexError_("cannot take the union of zero MBRs")
+        lower = np.min(np.vstack([b.lower for b in boxes]), axis=0)
+        upper = np.max(np.vstack([b.upper for b in boxes]), axis=0)
+        return cls(lower, upper)
+
+    # -------------------------------------------------------------- measures
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the box."""
+        return int(self.lower.shape[0])
+
+    @property
+    def area(self) -> float:
+        """Hyper-volume of the box."""
+        return float(np.prod(self.upper - self.lower))
+
+    @property
+    def margin(self) -> float:
+        """Sum of edge lengths (the R*-tree 'margin' criterion)."""
+        return float(np.sum(self.upper - self.lower))
+
+    @property
+    def centre(self) -> np.ndarray:
+        """Centre point of the box."""
+        return (self.lower + self.upper) / 2.0
+
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest MBR enclosing this box and ``other``."""
+        return MBR(np.minimum(self.lower, other.lower), np.maximum(self.upper, other.upper))
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def overlap(self, other: "MBR") -> float:
+        """Volume of the intersection with ``other`` (0 when disjoint)."""
+        lower = np.maximum(self.lower, other.lower)
+        upper = np.minimum(self.upper, other.upper)
+        extent = upper - lower
+        if np.any(extent < 0):
+            return 0.0
+        return float(np.prod(extent))
+
+    # ------------------------------------------------------------ predicates
+    def contains_point(self, point: Sequence[float] | np.ndarray) -> bool:
+        """Closed containment test for a point."""
+        p = np.asarray(point, dtype=float).ravel()
+        return bool(np.all(p >= self.lower) and np.all(p <= self.upper))
+
+    def contains_box(self, other: "MBR") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        return bool(np.all(other.lower >= self.lower) and np.all(other.upper <= self.upper))
+
+    def intersects_box(
+        self, lower: Sequence[float] | np.ndarray, upper: Sequence[float] | np.ndarray
+    ) -> bool:
+        """True when this box intersects the closed box ``[lower, upper]``."""
+        lo = np.asarray(lower, dtype=float).ravel()
+        hi = np.asarray(upper, dtype=float).ravel()
+        return bool(np.all(self.upper >= lo) and np.all(self.lower <= hi))
+
+    def within_box(
+        self, lower: Sequence[float] | np.ndarray, upper: Sequence[float] | np.ndarray
+    ) -> bool:
+        """True when this box lies entirely inside the closed box ``[lower, upper]``."""
+        lo = np.asarray(lower, dtype=float).ravel()
+        hi = np.asarray(upper, dtype=float).ravel()
+        return bool(np.all(self.lower >= lo) and np.all(self.upper <= hi))
+
+    # ------------------------------------------------- dominance-oriented keys
+    def max_corner_sum(self) -> float:
+        """Sum of upper-corner coordinates.
+
+        For maximisation-oriented dominance (larger attribute values are
+        better), ``-max_corner_sum`` is a lower bound on the BBS priority key
+        of every point inside the box: no contained point can have a larger
+        coordinate sum than the upper corner.
+        """
+        return float(np.sum(self.upper))
+
+    def upper_dominates_point(self, point: Sequence[float] | np.ndarray) -> bool:
+        """True when the box's upper corner dominates ``point`` (>= everywhere, > somewhere)."""
+        p = np.asarray(point, dtype=float).ravel()
+        return bool(np.all(self.upper >= p) and np.any(self.upper > p))
+
+    def dominated_by_point(self, point: Sequence[float] | np.ndarray) -> bool:
+        """True when ``point`` dominates the entire box (i.e. its upper corner)."""
+        p = np.asarray(point, dtype=float).ravel()
+        return bool(np.all(p >= self.upper) and np.any(p > self.upper))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MBR({np.array2string(self.lower, precision=3)}, {np.array2string(self.upper, precision=3)})"

@@ -1,0 +1,128 @@
+"""Nodes and entries of the R*-tree.
+
+The tree follows the classic two-level entry structure:
+
+* a **leaf node** stores :class:`LeafEntry` objects — one per data record —
+  holding the record id and its point coordinates;
+* an **internal node** stores child :class:`RStarNode` objects directly; the
+  child's MBR and aggregate record count play the role of the internal entry.
+
+Every node carries a simulated disk-page id (assigned by
+:class:`~repro.index.diskio.DiskSimulator`) and an aggregate ``count`` of the
+records stored in its subtree, which turns the structure into the *aggregate
+R*-tree* the paper uses to count dominators without visiting leaf pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..errors import IndexError_
+from .mbr import MBR
+
+__all__ = ["LeafEntry", "RStarNode"]
+
+
+@dataclass(frozen=True)
+class LeafEntry:
+    """A data record stored in a leaf: ``(record_id, point)``."""
+
+    record_id: int
+    point: np.ndarray
+
+    def __init__(self, record_id: int, point: np.ndarray) -> None:
+        object.__setattr__(self, "record_id", int(record_id))
+        p = np.asarray(point, dtype=float).ravel().copy()
+        p.setflags(write=False)
+        object.__setattr__(self, "point", p)
+
+    @property
+    def mbr(self) -> MBR:
+        """Degenerate MBR of the stored point."""
+        return MBR.from_point(self.point)
+
+    @property
+    def count(self) -> int:
+        """A leaf entry always represents exactly one record."""
+        return 1
+
+
+class RStarNode:
+    """One node (page) of the R*-tree."""
+
+    __slots__ = ("level", "entries", "parent", "page_id", "_mbr", "_count")
+
+    def __init__(self, level: int, page_id: int) -> None:
+        self.level = int(level)          #: 0 for leaves, >0 for internal nodes
+        self.page_id = int(page_id)      #: simulated disk page id
+        self.entries: List[Union[LeafEntry, "RStarNode"]] = []
+        self.parent: Optional["RStarNode"] = None
+        self._mbr: Optional[MBR] = None
+        self._count: Optional[int] = None
+
+    # --------------------------------------------------------------- queries
+    @property
+    def is_leaf(self) -> bool:
+        """True for level-0 nodes, which store data records."""
+        return self.level == 0
+
+    @property
+    def mbr(self) -> MBR:
+        """Minimum bounding rectangle of everything stored below this node."""
+        if self._mbr is None:
+            if not self.entries:
+                raise IndexError_("an empty node has no MBR")
+            self._mbr = MBR.union_of([entry.mbr for entry in self.entries])
+        return self._mbr
+
+    @property
+    def count(self) -> int:
+        """Aggregate number of data records in the subtree rooted here."""
+        if self._count is None:
+            self._count = sum(entry.count for entry in self.entries)
+        return self._count
+
+    # ------------------------------------------------------------- mutation
+    def add(self, entry: Union[LeafEntry, "RStarNode"]) -> None:
+        """Append an entry and invalidate cached aggregates."""
+        if self.is_leaf and not isinstance(entry, LeafEntry):
+            raise IndexError_("leaf nodes only store LeafEntry objects")
+        if not self.is_leaf and not isinstance(entry, RStarNode):
+            raise IndexError_("internal nodes only store child nodes")
+        if isinstance(entry, RStarNode):
+            entry.parent = self
+        self.entries.append(entry)
+        self.invalidate()
+
+    def remove(self, entry: Union[LeafEntry, "RStarNode"]) -> None:
+        """Remove an entry and invalidate cached aggregates."""
+        self.entries.remove(entry)
+        if isinstance(entry, RStarNode):
+            entry.parent = None
+        self.invalidate()
+
+    def replace_entries(self, entries: List[Union[LeafEntry, "RStarNode"]]) -> None:
+        """Replace all entries (used by node splits and reinsertions)."""
+        self.entries = list(entries)
+        for entry in self.entries:
+            if isinstance(entry, RStarNode):
+                entry.parent = self
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop cached MBR/count here and in every ancestor."""
+        node: Optional[RStarNode] = self
+        while node is not None:
+            node._mbr = None
+            node._count = None
+            node = node.parent
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"RStarNode({kind}, page={self.page_id}, entries={len(self.entries)})"

@@ -1,0 +1,19 @@
+"""Quad-tree substrate: augmented quad-tree and within-leaf cell enumeration."""
+
+from .quadtree import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_SPLIT_THRESHOLD,
+    AugmentedQuadTree,
+    QuadTreeNode,
+)
+from .withinleaf import LeafCell, PairwiseConstraints, WithinLeafProcessor
+
+__all__ = [
+    "AugmentedQuadTree",
+    "QuadTreeNode",
+    "DEFAULT_SPLIT_THRESHOLD",
+    "DEFAULT_MAX_DEPTH",
+    "LeafCell",
+    "PairwiseConstraints",
+    "WithinLeafProcessor",
+]

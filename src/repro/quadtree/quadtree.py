@@ -1,0 +1,362 @@
+"""Augmented Quad-tree over the reduced query space (paper, Section 5.1).
+
+The half-spaces induced by incomparable records are organised by a space
+partitioning quad-tree whose leaves tile the reduced query space.  For every
+node the tree records the half-spaces that *fully contain* it — excluding
+those already recorded at an ancestor, to avoid redundancy — and for every
+leaf additionally the half-spaces that *partially overlap* it.  A leaf is
+split when its partial-overlap set exceeds a threshold.
+
+Two sets are derived per leaf ``l``:
+
+* ``F_l`` — half-spaces fully containing ``l`` (own set plus all ancestors');
+  ``|F_l|`` lower-bounds the order of every arrangement cell inside ``l`` and
+  drives the leaf pruning of BA and AA;
+* ``P_l`` — half-spaces partially overlapping ``l``; they define the
+  within-leaf arrangement processed by :mod:`repro.quadtree.withinleaf`.
+
+Nodes that lie entirely outside the permissible simplex
+(``Σ q_i < 1``) are discarded, as prescribed by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry.halfspace import BoxRelation, Halfspace
+from ..stats import CostCounters
+
+__all__ = ["QuadTreeNode", "AugmentedQuadTree", "DEFAULT_SPLIT_THRESHOLD", "DEFAULT_MAX_DEPTH"]
+
+#: A leaf splits when its partial-overlap set grows beyond this many half-spaces.
+DEFAULT_SPLIT_THRESHOLD = 10
+#: Hard depth cap: at this depth leaves absorb overflow instead of splitting.
+DEFAULT_MAX_DEPTH = 8
+
+
+class QuadTreeNode:
+    """One node of the augmented quad-tree."""
+
+    __slots__ = (
+        "lower",
+        "upper",
+        "lower_t",
+        "upper_t",
+        "depth",
+        "parent",
+        "children",
+        "containment",
+        "partial",
+    )
+
+    def __init__(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        depth: int,
+        parent: Optional["QuadTreeNode"],
+    ) -> None:
+        self.lower = lower                      #: lower corner of the node's box
+        self.upper = upper                      #: upper corner of the node's box
+        self.lower_t = tuple(float(v) for v in lower)   #: tuple copy for scalar hot paths
+        self.upper_t = tuple(float(v) for v in upper)
+        self.depth = depth                      #: root has depth 0
+        self.parent = parent
+        self.children: Optional[List["QuadTreeNode"]] = None
+        #: ids of half-spaces fully containing this node but not its parent
+        self.containment: List[int] = []
+        #: ids of half-spaces partially overlapping this node (leaves only)
+        self.partial: List[int] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        """True while the node has not been split."""
+        return self.children is None
+
+    def full_ids(self) -> Set[int]:
+        """``F_l``: own containment ids plus those of every ancestor."""
+        ids: Set[int] = set()
+        node: Optional[QuadTreeNode] = self
+        while node is not None:
+            ids.update(node.containment)
+            node = node.parent
+        return ids
+
+    def full_count(self) -> int:
+        """``|F_l|`` without materialising the id set."""
+        total = 0
+        node: Optional[QuadTreeNode] = self
+        while node is not None:
+            total += len(node.containment)
+            node = node.parent
+        return total
+
+    def centre(self) -> np.ndarray:
+        """Centre point of the node's box."""
+        return (self.lower + self.upper) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "internal"
+        return (
+            f"QuadTreeNode({kind}, depth={self.depth}, |C|={len(self.containment)}, "
+            f"|P|={len(self.partial)})"
+        )
+
+
+class AugmentedQuadTree:
+    """Augmented quad-tree holding half-spaces of the reduced query space.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the reduced query space (``d - 1``); must be >= 2
+        (the 1-D case uses a sorted list instead, see
+        :class:`repro.core.aa2d.SortedHalflineArrangement`).
+    split_threshold:
+        Maximum size of a leaf's partial-overlap set before it splits.
+        ``None`` (default) selects a dimension-aware value: 10 for low
+        dimensions, growing with ``dim`` because splitting a high-dimensional
+        box into ``2^dim`` children rarely reduces the partial set enough to
+        pay for the extra nodes.
+    max_depth:
+        Depth cap; leaves at this depth grow beyond the threshold instead of
+        splitting further.  ``None`` (default) selects a dimension-aware cap
+        for the same reason (node count is ``O(2^(dim·depth))`` in the worst
+        case).
+    counters:
+        Optional cost counters (half-space insertions are recorded).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        split_threshold: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        counters: Optional[CostCounters] = None,
+    ) -> None:
+        if dim < 2:
+            raise GeometryError(
+                "the augmented quad-tree requires a reduced space of dimension >= 2"
+            )
+        if split_threshold is None:
+            if dim <= 5:
+                split_threshold = max(DEFAULT_SPLIT_THRESHOLD, 2 * dim)
+            else:
+                split_threshold = 4 * dim
+        if max_depth is None:
+            if dim <= 3:
+                max_depth = DEFAULT_MAX_DEPTH
+            elif dim <= 5:
+                max_depth = max(3, 11 - dim)
+            else:
+                # Splitting a >5-dimensional box produces 2^dim children and
+                # rarely shrinks the partial sets; keep the tree very shallow
+                # and let within-leaf enumeration (bounded by the small cell
+                # orders typical at high d) do the work instead.
+                max_depth = 2
+        if split_threshold < 2:
+            raise GeometryError("split_threshold must be at least 2")
+        self.dim = int(dim)
+        self.split_threshold = int(split_threshold)
+        self.max_depth = int(max_depth)
+        self.counters = counters
+        self.root = QuadTreeNode(np.zeros(dim), np.ones(dim), depth=0, parent=None)
+        self.halfspaces: Dict[int, Halfspace] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------ bookkeeping
+    def halfspace(self, halfspace_id: int) -> Halfspace:
+        """Return the half-space registered under ``halfspace_id``."""
+        return self.halfspaces[halfspace_id]
+
+    def __len__(self) -> int:
+        return len(self.halfspaces)
+
+    @staticmethod
+    def _outside_simplex(node: "QuadTreeNode") -> bool:
+        """True when the node's box lies entirely outside ``Σ q_i < 1``."""
+        return sum(node.lower_t) >= 1.0
+
+    @staticmethod
+    def _classify(halfspace: Halfspace, node: "QuadTreeNode", tol: float = 1e-9) -> BoxRelation:
+        """Cheap scalar version of :meth:`Halfspace.relation_to_box`.
+
+        Insertion and splitting classify the same half-space against very many
+        small boxes; plain float arithmetic avoids the per-call overhead of the
+        numpy implementation while computing exactly the same corner extremes.
+        """
+        min_val = 0.0
+        max_val = 0.0
+        lower = node.lower_t
+        upper = node.upper_t
+        for coefficient, lo, hi in zip(halfspace.coefficients_t, lower, upper):
+            if coefficient > 0.0:
+                min_val += coefficient * lo
+                max_val += coefficient * hi
+            else:
+                min_val += coefficient * hi
+                max_val += coefficient * lo
+        offset = halfspace.offset
+        if min_val > offset + tol:
+            return BoxRelation.CONTAINS
+        if max_val <= offset + tol:
+            return BoxRelation.DISJOINT
+        return BoxRelation.OVERLAPS
+
+    # --------------------------------------------------------------- insertion
+    def insert(self, halfspace: Halfspace) -> int:
+        """Insert a half-space and return its id."""
+        if halfspace.dim != self.dim:
+            raise GeometryError(
+                f"half-space dimension {halfspace.dim} does not match tree dimension {self.dim}"
+            )
+        halfspace_id = self._next_id
+        self._next_id += 1
+        self.halfspaces[halfspace_id] = halfspace
+        if self.counters is not None:
+            self.counters.halfspaces_inserted += 1
+        self._insert_into(self.root, halfspace_id, halfspace)
+        return halfspace_id
+
+    def replace(self, halfspace_id: int, halfspace: Halfspace) -> None:
+        """Replace the half-space object stored under ``halfspace_id``.
+
+        The geometry must be identical — this is used by AA to swap an
+        augmented half-space for its singular version without touching the
+        tree structure.
+        """
+        current = self.halfspaces[halfspace_id]
+        if not np.allclose(current.coefficients, halfspace.coefficients) or not np.isclose(
+            current.offset, halfspace.offset
+        ):
+            raise GeometryError("replace() must not change the half-space geometry")
+        self.halfspaces[halfspace_id] = halfspace
+
+    def _insert_into(self, node: QuadTreeNode, halfspace_id: int, halfspace: Halfspace) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if self._outside_simplex(current):
+                continue
+            relation = self._classify(halfspace, current)
+            if relation is BoxRelation.DISJOINT:
+                continue
+            if relation is BoxRelation.CONTAINS:
+                current.containment.append(halfspace_id)
+                continue
+            if current.is_leaf:
+                current.partial.append(halfspace_id)
+                if (
+                    len(current.partial) > self.split_threshold
+                    and current.depth < self.max_depth
+                ):
+                    self._split(current)
+                continue
+            stack.extend(current.children)
+
+    def _split(self, node: QuadTreeNode) -> None:
+        """Split a leaf into ``2^dim`` children and redistribute its partial set."""
+        pending_split = [node]
+        while pending_split:
+            current = pending_split.pop()
+            centre = current.centre()
+            children: List[QuadTreeNode] = []
+            for corner in range(2 ** self.dim):
+                lower = current.lower.copy()
+                upper = current.upper.copy()
+                for axis in range(self.dim):
+                    if corner >> axis & 1:
+                        lower[axis] = centre[axis]
+                    else:
+                        upper[axis] = centre[axis]
+                child = QuadTreeNode(lower, upper, depth=current.depth + 1, parent=current)
+                if self._outside_simplex(child):
+                    continue
+                children.append(child)
+            pending = list(current.partial)
+            current.partial = []
+            current.children = children
+            if not pending or not children:
+                continue
+            # Vectorised redistribution: classify every pending half-space
+            # against every child box in a handful of array operations.
+            A = np.vstack([self.halfspaces[hid].coefficients for hid in pending])
+            b = np.array([self.halfspaces[hid].offset for hid in pending])
+            positive = A > 0
+            for child in children:
+                min_vals = np.where(positive, A * child.lower, A * child.upper).sum(axis=1)
+                max_vals = np.where(positive, A * child.upper, A * child.lower).sum(axis=1)
+                contains = min_vals > b + 1e-9
+                disjoint = max_vals <= b + 1e-9
+                overlaps = ~(contains | disjoint)
+                child.containment.extend(
+                    hid for hid, keep in zip(pending, contains) if keep
+                )
+                child.partial.extend(hid for hid, keep in zip(pending, overlaps) if keep)
+                if (
+                    len(child.partial) > self.split_threshold
+                    and child.depth < self.max_depth
+                ):
+                    pending_split.append(child)
+
+    # ----------------------------------------------------------------- queries
+    def leaves(self) -> Iterator[QuadTreeNode]:
+        """Iterate over all leaves inside the permissible simplex."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if self._outside_simplex(node):
+                continue
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(node.children)
+
+    def leaf_count(self) -> int:
+        """Number of leaves (inside the simplex)."""
+        return sum(1 for _ in self.leaves())
+
+    def leaves_by_containment(self) -> List[Tuple[QuadTreeNode, int]]:
+        """Return ``(leaf, |F_l|)`` pairs sorted by increasing ``|F_l|``.
+
+        This is the processing order of BA and of every AA iteration: a leaf
+        whose full-containment cardinality already exceeds the best cell
+        order found so far can be pruned without within-leaf processing.  The
+        full id *sets* are only materialised (via ``leaf.full_ids()``) for
+        the leaves the caller actually processes; carrying bare counts keeps
+        the per-scan bookkeeping linear and cheap even for very deep trees.
+        """
+        annotated: List[Tuple[QuadTreeNode, int]] = []
+        stack: List[Tuple[QuadTreeNode, int]] = [(self.root, 0)]
+        while stack:
+            node, inherited = stack.pop()
+            if self._outside_simplex(node):
+                continue
+            total = inherited + len(node.containment)
+            if node.is_leaf:
+                annotated.append((node, total))
+            else:
+                stack.extend((child, total) for child in node.children)
+        annotated.sort(key=lambda pair: pair[1])
+        return annotated
+
+    def statistics(self) -> Dict[str, float]:
+        """Structural statistics used by the benchmark reports."""
+        leaf_partial_sizes = []
+        leaf_count = 0
+        max_depth = 0
+        for leaf in self.leaves():
+            leaf_count += 1
+            leaf_partial_sizes.append(len(leaf.partial))
+            max_depth = max(max_depth, leaf.depth)
+        return {
+            "halfspaces": float(len(self.halfspaces)),
+            "leaves": float(leaf_count),
+            "max_depth": float(max_depth),
+            "mean_partial": float(np.mean(leaf_partial_sizes)) if leaf_partial_sizes else 0.0,
+            "max_partial": float(np.max(leaf_partial_sizes)) if leaf_partial_sizes else 0.0,
+        }

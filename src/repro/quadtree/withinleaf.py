@@ -1,0 +1,278 @@
+"""Within-leaf processing (paper, Section 5.2).
+
+Inside one quad-tree leaf, the half-spaces of the leaf's partial-overlap set
+``P_l`` define a constrained arrangement.  Every cell of that arrangement is
+identified by a bit-string over ``P_l``: bit ``i`` is 1 when the cell lies
+inside the ``i``-th half-space and 0 when it lies in its complement.  The
+cell's *p-order* is the Hamming weight of its bit-string; its (global) order
+is the p-order plus ``|F_l|``.
+
+The module enumerates bit-strings in increasing Hamming weight and tests
+each candidate cell for a non-empty interior (intersection of the selected
+half-spaces / complements, the leaf box and the permissible-simplex
+constraints).  The first weight at which a non-empty cell appears is the
+minimum p-order of the leaf; all non-empty cells of that weight (plus up to
+``extra`` additional weights, for iMaxRank) are reported.
+
+Two optimisations from the paper are implemented:
+
+* **pairwise binary constraints** — pairs of half-spaces that are disjoint,
+  nested or jointly covering within the leaf forbid certain bit
+  combinations; violating bit-strings are dismissed without a feasibility
+  test;
+* an exact **polygon-clipping fast path** for the 2-dimensional reduced
+  query space (data dimensionality 3), which avoids the LP entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geometry.clipping import MIN_AREA, box_polygon, clip_polygon, polygon_area, polygon_centroid
+from ..geometry.halfspace import Halfspace, reduced_space_constraints
+from ..geometry.lp import find_interior_point, find_interior_point_arrays
+from ..stats import CostCounters
+
+__all__ = ["LeafCell", "WithinLeafProcessor", "PairwiseConstraints"]
+
+
+@dataclass(frozen=True)
+class LeafCell:
+    """A non-empty cell found inside a quad-tree leaf.
+
+    Attributes
+    ----------
+    bits:
+        0/1 flags aligned with the processor's partial half-space ids.
+    inside_ids:
+        Ids of the partial half-spaces containing the cell (bit = 1).
+    p_order:
+        Hamming weight of ``bits``.
+    interior_point:
+        Witness point strictly inside the cell (reduced query space).
+    """
+
+    bits: Tuple[int, ...]
+    inside_ids: Tuple[int, ...]
+    p_order: int
+    interior_point: np.ndarray
+
+
+class PairwiseConstraints:
+    """Forbidden bit combinations between pairs of partial half-spaces.
+
+    For every pair ``(i, j)`` the four bit combinations are tested for
+    feasibility within the leaf; infeasible combinations become forbidden
+    patterns consulted before any full feasibility test.  This subsumes the
+    paper's three containment statuses (disjoint / nested / covering) and is
+    also sound when the two supporting hyperplanes do intersect inside the
+    leaf (in which case all four combinations are feasible and nothing is
+    forbidden).
+    """
+
+    def __init__(self) -> None:
+        self._forbidden: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+
+    @classmethod
+    def build(
+        cls,
+        halfspaces: Sequence[Tuple[int, Halfspace]],
+        lower: np.ndarray,
+        upper: np.ndarray,
+        base_constraints: Sequence[Halfspace],
+        *,
+        counters: Optional[CostCounters] = None,
+    ) -> "PairwiseConstraints":
+        """Analyse every pair of partial half-spaces within the leaf box."""
+        constraints = cls()
+        for (pos_i, (_, h_i)), (pos_j, (_, h_j)) in combinations(enumerate(halfspaces), 2):
+            forbidden: Set[Tuple[int, int]] = set()
+            for bit_i in (0, 1):
+                for bit_j in (0, 1):
+                    parts = list(base_constraints)
+                    parts.append(h_i if bit_i else h_i.complement())
+                    parts.append(h_j if bit_j else h_j.complement())
+                    result = find_interior_point(parts, lower, upper, counters=counters)
+                    if not result.feasible:
+                        forbidden.add((bit_i, bit_j))
+            if forbidden:
+                constraints._forbidden[(pos_i, pos_j)] = forbidden
+        return constraints
+
+    def violates(self, bits: Sequence[int]) -> bool:
+        """True when ``bits`` matches a forbidden combination for some pair."""
+        for (pos_i, pos_j), forbidden in self._forbidden.items():
+            if (bits[pos_i], bits[pos_j]) in forbidden:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._forbidden)
+
+
+class WithinLeafProcessor:
+    """Enumerates the minimum-order cells inside one quad-tree leaf.
+
+    Parameters
+    ----------
+    lower, upper:
+        Leaf extent in the reduced query space.
+    partial:
+        ``(halfspace_id, halfspace)`` pairs of the leaf's partial-overlap set.
+    use_pairwise:
+        Enable the pairwise-constraint pruning (ablation A1 switches this
+        off).  The analysis is only performed when the partial set is large
+        enough for it to pay off.
+    pairwise_min_size:
+        Minimum ``|P_l|`` at which the pairwise analysis is carried out.
+    counters:
+        Optional cost counters (cells examined, LP calls).
+    """
+
+    def __init__(
+        self,
+        lower: Sequence[float] | np.ndarray,
+        upper: Sequence[float] | np.ndarray,
+        partial: Sequence[Tuple[int, Halfspace]],
+        *,
+        use_pairwise: bool = True,
+        pairwise_min_size: int = 6,
+        counters: Optional[CostCounters] = None,
+    ) -> None:
+        self.lower = np.asarray(lower, dtype=float).ravel()
+        self.upper = np.asarray(upper, dtype=float).ravel()
+        self.partial = list(partial)
+        self.dim = self.lower.shape[0]
+        self.counters = counters
+        self._base = reduced_space_constraints(self.dim)
+        # Pre-stacked coefficient arrays: the feasibility tests flip the signs
+        # of individual rows per bit-string instead of rebuilding half-space
+        # objects, which keeps the per-cell cost to a few vector operations.
+        self._base_A = np.vstack([h.coefficients for h in self._base])
+        self._base_b = np.array([h.offset for h in self._base], dtype=float)
+        if self.partial:
+            self._partial_A = np.vstack([h.coefficients for _, h in self.partial])
+            self._partial_b = np.array([h.offset for _, h in self.partial], dtype=float)
+        else:
+            self._partial_A = np.zeros((0, self.dim))
+            self._partial_b = np.zeros(0)
+        if self.dim == 2:
+            self._oriented = [
+                (halfspace, halfspace.complement()) for _, halfspace in self.partial
+            ]
+        self._pairwise: Optional[PairwiseConstraints] = None
+        if use_pairwise and len(self.partial) >= pairwise_min_size:
+            self._pairwise = PairwiseConstraints.build(
+                self.partial, self.lower, self.upper, self._base, counters=counters
+            )
+
+    # --------------------------------------------------------------- plumbing
+    def _bits_for(self, ones: Sequence[int]) -> Tuple[int, ...]:
+        bits = [0] * len(self.partial)
+        for position in ones:
+            bits[position] = 1
+        return tuple(bits)
+
+    def _test_cell(self, bits: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """Return an interior point of the cell, or None when it is empty."""
+        if self.counters is not None:
+            self.counters.cells_examined += 1
+        if self.dim == 2:
+            point = self._test_cell_clipping(bits)
+        else:
+            point = self._test_cell_lp(bits)
+        if point is not None and self.counters is not None:
+            self.counters.nonempty_cells += 1
+        return point
+
+    def _test_cell_lp(self, bits: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """LP-based feasibility using the pre-stacked constraint arrays."""
+        if self.partial:
+            signs = np.where(np.asarray(bits, dtype=bool), 1.0, -1.0)
+            A = np.vstack([self._base_A, self._partial_A * signs[:, None]])
+            b = np.concatenate([self._base_b, self._partial_b * signs])
+        else:
+            A, b = self._base_A, self._base_b
+        result = find_interior_point_arrays(
+            A, b, self.lower, self.upper, counters=self.counters
+        )
+        return result.point if result.feasible else None
+
+    def _test_cell_clipping(self, bits: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """Exact polygon-clipping feasibility for the 2-D reduced space."""
+        polygon = box_polygon(self.lower, self.upper)
+        for constraint in self._base:
+            polygon = clip_polygon(polygon, constraint)
+            if polygon is None:
+                return None
+        for (inside, outside), bit in zip(self._oriented, bits):
+            polygon = clip_polygon(polygon, inside if bit else outside)
+            if polygon is None:
+                return None
+        if polygon_area(polygon) <= max(MIN_AREA, 1e-14):
+            return None
+        return polygon_centroid(polygon)
+
+    # ------------------------------------------------------------ enumeration
+    def cells_at_weight(self, weight: int) -> List[LeafCell]:
+        """All non-empty cells of Hamming weight exactly ``weight``."""
+        cells: List[LeafCell] = []
+        positions = range(len(self.partial))
+        for ones in combinations(positions, weight):
+            bits = self._bits_for(ones)
+            if self._pairwise is not None and self._pairwise.violates(bits):
+                continue
+            point = self._test_cell(bits)
+            if point is None:
+                continue
+            inside_ids = tuple(self.partial[pos][0] for pos in ones)
+            cells.append(
+                LeafCell(bits=bits, inside_ids=inside_ids, p_order=weight, interior_point=point)
+            )
+        return cells
+
+    def minimal_cells(self, *, extra: int = 0, max_weight: Optional[int] = None
+                      ) -> Tuple[Optional[int], List[LeafCell]]:
+        """Find the minimum p-order and the cells attaining it.
+
+        Parameters
+        ----------
+        extra:
+            Additionally report cells with p-order up to ``minimum + extra``
+            (iMaxRank processing examines bit-strings with Hamming weights up
+            to ``τ`` units larger).
+        max_weight:
+            Stop searching beyond this weight even if nothing was found —
+            callers use the global pruning bound here so a leaf that cannot
+            improve the interim result is abandoned early.
+
+        Returns
+        -------
+        (minimum p-order or None, cells)
+            ``None`` when the leaf contains no non-empty cell within the
+            explored weights (possible when the leaf lies outside the
+            permissible simplex).
+        """
+        if not self.partial:
+            point = self._test_cell(())
+            if point is None:
+                return None, []
+            return 0, [LeafCell(bits=(), inside_ids=(), p_order=0, interior_point=point)]
+
+        limit = len(self.partial) if max_weight is None else min(max_weight, len(self.partial))
+        minimum: Optional[int] = None
+        collected: List[LeafCell] = []
+        weight = 0
+        while weight <= limit:
+            cells = self.cells_at_weight(weight)
+            if cells:
+                if minimum is None:
+                    minimum = weight
+                    limit = min(limit, weight + extra)
+                collected.extend(cells)
+            weight += 1
+        return minimum, collected

@@ -1,0 +1,24 @@
+"""Skyline substrate: dominance partitioning, BBS, incremental skyline and k-skyband."""
+
+from .bbs import IncrementalSkyline, SkylineRecord, bbs_skyline
+from .dominance import (
+    DominancePartition,
+    count_dominators_with_index,
+    dominates,
+    naive_skyline,
+    partition_by_dominance,
+)
+from .skyband import bbs_skyband, naive_skyband
+
+__all__ = [
+    "dominates",
+    "DominancePartition",
+    "partition_by_dominance",
+    "count_dominators_with_index",
+    "naive_skyline",
+    "SkylineRecord",
+    "bbs_skyline",
+    "IncrementalSkyline",
+    "bbs_skyband",
+    "naive_skyband",
+]

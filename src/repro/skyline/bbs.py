@@ -1,0 +1,188 @@
+"""Branch-and-Bound Skyline (BBS) over the R*-tree.
+
+BBS [Papadias et al. 2005] is the I/O-optimal skyline algorithm the paper
+uses for the advanced approach's implicit subsumption (Section 6.2): AA only
+materialises the half-spaces of records that appear on the (progressively
+updated) skyline of the not-yet-expanded incomparable records.
+
+The implementation here works for *maximisation* dominance (larger attribute
+values are better, matching the paper's top-k convention): entries are
+explored best-first by the sum of their (upper-corner) coordinates, and an
+entry is pruned as soon as some skyline record dominates it.
+
+Pruned entries are not thrown away — they are parked under the skyline record
+that dominated them.  This is what makes the incremental maintenance of
+Section 6.2 possible: when AA expands (removes) a skyline record, the entries
+parked under it are re-activated and processed against the remaining skyline,
+without re-reading R*-tree pages that were already read.  See
+:class:`IncrementalSkyline`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..index.node import LeafEntry, RStarNode
+from ..index.rstar import RStarTree
+from ..stats import CostCounters
+from .dominance import dominates
+
+__all__ = ["SkylineRecord", "bbs_skyline", "IncrementalSkyline"]
+
+FilterFn = Callable[[int, np.ndarray], bool]
+
+
+@dataclass(frozen=True)
+class SkylineRecord:
+    """A record reported on the skyline: ``(record_id, point)``."""
+
+    record_id: int
+    point: np.ndarray
+
+
+def _entry_key(entry: Union[LeafEntry, RStarNode]) -> float:
+    """Best-first priority: larger coordinate sums are explored earlier.
+
+    For a node the upper corner of its MBR upper-bounds the coordinate sum of
+    every contained point, so ``-max_corner_sum`` never underestimates the
+    final key of a descendant — the property BBS correctness rests on.
+    """
+    if isinstance(entry, LeafEntry):
+        return -float(np.sum(entry.point))
+    return -entry.mbr.max_corner_sum()
+
+
+def _dominating_record(
+    entry: Union[LeafEntry, RStarNode], skyline: List[SkylineRecord]
+) -> Optional[SkylineRecord]:
+    """Return a skyline record dominating ``entry`` (its upper corner), if any."""
+    if isinstance(entry, LeafEntry):
+        target = entry.point
+    else:
+        target = entry.mbr.upper
+    for record in skyline:
+        if dominates(record.point, target):
+            return record
+    return None
+
+
+class IncrementalSkyline:
+    """BBS skyline with support for excluding (expanding) skyline records.
+
+    Parameters
+    ----------
+    tree:
+        R*-tree over the dataset.
+    accept:
+        Optional predicate ``accept(record_id, point)``; records for which it
+        returns False never enter the skyline (AA passes the "is incomparable
+        to the focal record" test here, so dominators/dominees are skipped).
+    counters:
+        Optional cost counters; every node read charges one page access and
+        every accepted leaf entry one record access.
+
+    The class maintains BBS's search heap across calls: :meth:`compute`
+    processes the heap until it is exhausted, and :meth:`exclude` removes a
+    skyline record, re-activates everything that was pruned because of it and
+    returns the records that newly joined the skyline — exactly the behaviour
+    the paper describes for AA's implicit subsumption ("BBS reuses its search
+    heap to incrementally update the skyline, without re-accessing the same
+    R*-tree nodes and records").
+    """
+
+    def __init__(
+        self,
+        tree: RStarTree,
+        *,
+        accept: Optional[FilterFn] = None,
+        counters: Optional[CostCounters] = None,
+    ) -> None:
+        self._tree = tree
+        self._accept = accept
+        self._counters = counters
+        self._heap: List[Tuple[float, int, Union[LeafEntry, RStarNode]]] = []
+        self._tiebreak = itertools.count()
+        self._skyline: List[SkylineRecord] = []
+        self._deferred: Dict[int, List[Union[LeafEntry, RStarNode]]] = {}
+        self._excluded: Set[int] = set()
+        self._push(tree.root)
+        self._exhausted = False
+
+    # ------------------------------------------------------------ primitives
+    def _push(self, entry: Union[LeafEntry, RStarNode]) -> None:
+        heapq.heappush(self._heap, (_entry_key(entry), next(self._tiebreak), entry))
+
+    def _defer(self, blocker: SkylineRecord, entry: Union[LeafEntry, RStarNode]) -> None:
+        self._deferred.setdefault(blocker.record_id, []).append(entry)
+
+    def _read_node(self, node: RStarNode) -> None:
+        self._tree.disk.read_page(node.page_id, self._counters)
+
+    # -------------------------------------------------------------- interface
+    @property
+    def skyline(self) -> List[SkylineRecord]:
+        """The current skyline (of accepted, non-excluded records)."""
+        return list(self._skyline)
+
+    def compute(self) -> List[SkylineRecord]:
+        """Drain the search heap and return the complete current skyline."""
+        self._process_heap()
+        return self.skyline
+
+    def exclude(self, record_id: int) -> List[SkylineRecord]:
+        """Remove ``record_id`` from the skyline and return newly exposed members.
+
+        Entries that had been pruned because of the removed record are pushed
+        back onto the heap and processed against the remaining skyline.  The
+        removed record is ignored from now on.
+        """
+        self._excluded.add(record_id)
+        before_ids = {record.record_id for record in self._skyline}
+        self._skyline = [r for r in self._skyline if r.record_id != record_id]
+        for entry in self._deferred.pop(record_id, []):
+            self._push(entry)
+        if self._counters is not None:
+            self._counters.skyline_updates += 1
+        self._process_heap()
+        return [r for r in self._skyline if r.record_id not in before_ids]
+
+    # ------------------------------------------------------------- main loop
+    def _process_heap(self) -> None:
+        while self._heap:
+            _, _, entry = heapq.heappop(self._heap)
+            if isinstance(entry, LeafEntry) and entry.record_id in self._excluded:
+                continue
+            blocker = _dominating_record(entry, self._skyline)
+            if blocker is not None:
+                self._defer(blocker, entry)
+                continue
+            if isinstance(entry, RStarNode):
+                self._read_node(entry)
+                for child in entry.entries:
+                    child_blocker = _dominating_record(child, self._skyline)
+                    if child_blocker is not None:
+                        self._defer(child_blocker, child)
+                    else:
+                        self._push(child)
+                continue
+            # Leaf entry, not dominated by any current skyline record.
+            if self._accept is not None and not self._accept(entry.record_id, entry.point):
+                continue
+            if self._counters is not None:
+                self._counters.records_accessed += 1
+            self._skyline.append(SkylineRecord(entry.record_id, entry.point))
+
+
+def bbs_skyline(
+    tree: RStarTree,
+    *,
+    accept: Optional[FilterFn] = None,
+    counters: Optional[CostCounters] = None,
+) -> List[SkylineRecord]:
+    """One-shot BBS skyline of the records accepted by ``accept``."""
+    return IncrementalSkyline(tree, accept=accept, counters=counters).compute()

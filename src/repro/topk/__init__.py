@@ -1,0 +1,19 @@
+"""Top-k substrate: linear scoring, top-k queries and onion layers."""
+
+from .onion import convex_hull_layers, layer_of
+from .queries import TopKResult, rank_histogram, top_k, top_k_indices
+from .scoring import order_of, rank_of, score, score_all, score_ratio
+
+__all__ = [
+    "score",
+    "score_all",
+    "order_of",
+    "rank_of",
+    "score_ratio",
+    "top_k",
+    "top_k_indices",
+    "TopKResult",
+    "rank_histogram",
+    "convex_hull_layers",
+    "layer_of",
+]

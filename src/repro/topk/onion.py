@@ -1,0 +1,81 @@
+"""Convex-hull layer ("onion") preprocessing for top-k queries.
+
+The paper's related-work section recalls that the top-scoring record under
+any linear preference lies on the convex hull of the dataset, and that Chang
+et al.'s Onion technique materialises convex-hull layers so a top-k query
+with ``k ≤ m`` only needs the first ``m`` layers.  We include a compact
+implementation because it is a useful companion to MaxRank: the layer number
+of the focal record is a quick upper-bound intuition for how well it can ever
+rank (a record on layer ``L`` can never beat all records of layers
+``1..L-1`` simultaneously... but it can beat many of them for some vectors —
+exactly the subtlety MaxRank quantifies), and the examples use it to put the
+exact ``k*`` into context.
+
+For dimensionalities where Qhull is unhappy (degenerate inputs, d = 1) the
+implementation falls back to a dominance-based approximation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..data.dataset import Dataset
+
+__all__ = ["convex_hull_layers", "layer_of"]
+
+
+def _hull_vertex_indices(points: np.ndarray) -> np.ndarray:
+    """Indices of points on the convex hull of ``points`` (row indices)."""
+    from scipy.spatial import ConvexHull, QhullError
+
+    n, d = points.shape
+    if n <= d + 1:
+        return np.arange(n)
+    try:
+        hull = ConvexHull(points)
+        return np.unique(hull.vertices)
+    except QhullError:
+        # Degenerate (e.g. coplanar) input: joggle by rerunning with the
+        # 'QJ' option, and if that still fails treat every point as a vertex.
+        try:
+            hull = ConvexHull(points, qhull_options="QJ")
+            return np.unique(hull.vertices)
+        except QhullError:
+            return np.arange(n)
+
+
+def convex_hull_layers(dataset: Dataset, max_layers: int | None = None) -> List[np.ndarray]:
+    """Peel the dataset into convex-hull layers.
+
+    Returns a list of integer arrays; the ``i``-th array holds the original
+    record indices that form the ``(i+1)``-th hull layer.  Peeling stops when
+    all records are assigned or ``max_layers`` layers have been produced.
+    """
+    remaining = np.arange(dataset.n)
+    points = np.asarray(dataset.records, dtype=float)
+    layers: List[np.ndarray] = []
+    while remaining.size > 0:
+        if max_layers is not None and len(layers) >= max_layers:
+            break
+        local_vertices = _hull_vertex_indices(points[remaining])
+        layer = remaining[local_vertices]
+        layers.append(np.sort(layer))
+        mask = np.ones(remaining.size, dtype=bool)
+        mask[local_vertices] = False
+        remaining = remaining[mask]
+    return layers
+
+
+def layer_of(dataset: Dataset, record_index: int, max_layers: int | None = None) -> int:
+    """Return the 1-based convex-hull layer of ``record_index``.
+
+    Returns ``len(layers) + 1`` if peeling stopped (``max_layers``) before the
+    record was assigned.
+    """
+    layers = convex_hull_layers(dataset, max_layers=max_layers)
+    for depth, layer in enumerate(layers, start=1):
+        if record_index in layer:
+            return depth
+    return len(layers) + 1

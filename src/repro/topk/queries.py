@@ -1,0 +1,87 @@
+"""Top-k query evaluation over a :class:`~repro.data.dataset.Dataset`.
+
+These routines provide the classic linear top-k query that MaxRank is defined
+against.  They serve three purposes in this repository:
+
+* ground truth for validating MaxRank results (a query vector sampled inside
+  a reported region must rank the focal record exactly ``k*``-th);
+* the user-facing companion API (an option provider will typically inspect
+  concrete top-k lists for representative vectors of each MaxRank region);
+* the substrate for the appendix experiment on score distinguishability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..data.dataset import Dataset, validate_query_vector
+from .scoring import order_of
+
+__all__ = ["TopKResult", "top_k", "top_k_indices", "rank_histogram"]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Result of a top-k query.
+
+    Attributes
+    ----------
+    indices:
+        Record indices ordered by descending score (ties broken by index).
+    scores:
+        Scores aligned with ``indices``.
+    query:
+        The query vector used.
+    """
+
+    indices: np.ndarray
+    scores: np.ndarray
+    query: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def __iter__(self):
+        return iter(zip(self.indices.tolist(), self.scores.tolist()))
+
+
+def top_k_indices(dataset: Dataset, query: ArrayLike, k: int) -> np.ndarray:
+    """Return the indices of the ``k`` highest-scoring records.
+
+    Ties in score are broken by record index (smaller index first) so the
+    result is deterministic.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    q = validate_query_vector(query, dataset.d)
+    scores = dataset.records @ q
+    k = min(k, dataset.n)
+    # argsort on (-score, index) gives deterministic descending order.
+    order = np.lexsort((np.arange(dataset.n), -scores))
+    return order[:k]
+
+
+def top_k(dataset: Dataset, query: ArrayLike, k: int) -> TopKResult:
+    """Evaluate a top-k query and return indices, scores and the vector used."""
+    q = validate_query_vector(query, dataset.d)
+    idx = top_k_indices(dataset, q, k)
+    scores = dataset.records[idx] @ q
+    return TopKResult(indices=idx, scores=scores, query=q)
+
+
+def rank_histogram(
+    dataset: Dataset,
+    focal: ArrayLike,
+    queries: Sequence[ArrayLike],
+) -> List[int]:
+    """Return the order of ``focal`` for each vector in ``queries``.
+
+    Used by the brute-force MaxRank oracle and by examples to visualise how a
+    record's rank fluctuates across the preference space.
+    """
+    return [order_of(dataset, focal, q) for q in queries]

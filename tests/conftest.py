@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, generate_anticorrelated, generate_correlated, generate_independent
+
+
+@pytest.fixture
+def paper_example() -> Dataset:
+    """The running example of the paper (Figure 1): five records plus p = (0.5, 0.5).
+
+    Record index 5 is the focal record; the expected MaxRank answer is
+    ``k* = 3`` attained on the q1 intervals (0, 0.2) and (0.4, 0.6).
+    """
+    return Dataset(
+        [
+            [0.8, 0.9],   # r1 — dominates p
+            [0.2, 0.7],   # r2 — incomparable
+            [0.9, 0.4],   # r3 — incomparable
+            [0.7, 0.2],   # r4 — incomparable
+            [0.4, 0.3],   # r5 — dominated by p
+            [0.5, 0.5],   # p  — the focal record
+        ],
+        name="paper-example",
+    )
+
+
+@pytest.fixture
+def small_2d() -> Dataset:
+    """A reproducible 2-attribute dataset small enough for oracle comparisons."""
+    return generate_independent(60, 2, seed=101)
+
+
+@pytest.fixture
+def small_3d() -> Dataset:
+    """A reproducible 3-attribute dataset small enough for oracle comparisons."""
+    return generate_independent(40, 3, seed=202)
+
+
+@pytest.fixture
+def medium_4d() -> Dataset:
+    """A 4-attribute dataset exercising the quad-tree path without being slow."""
+    return generate_independent(150, 4, seed=303)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Seeded random generator for test-local randomness."""
+    return np.random.default_rng(12345)

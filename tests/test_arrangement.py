@@ -1,0 +1,89 @@
+"""Tests for the reference arrangement enumerator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Halfspace, enumerate_cells, minimum_order_cells
+
+
+class TestEnumerateCells:
+    def test_single_halfspace_two_cells(self):
+        h = Halfspace([1.0, 0.0], 0.3)
+        cells = enumerate_cells([h], restrict_to_simplex=False)
+        assert len(cells) == 2
+        assert {cell.order for cell in cells} == {0, 1}
+
+    def test_two_crossing_halfspaces_four_cells(self):
+        a = Halfspace([1.0, 0.0], 0.5)
+        b = Halfspace([0.0, 1.0], 0.5)
+        cells = enumerate_cells([a, b], restrict_to_simplex=False)
+        assert len(cells) == 4
+        assert sorted(cell.order for cell in cells) == [0, 1, 1, 2]
+
+    def test_parallel_halfspaces_three_cells(self):
+        a = Halfspace([1.0, 0.0], 0.3)
+        b = Halfspace([1.0, 0.0], 0.7)
+        cells = enumerate_cells([a, b], restrict_to_simplex=False)
+        # x<0.3, 0.3<x<0.7, x>0.7 — the combination (inside a, outside b) ... wait
+        # inside b implies inside a, so (outside-a, inside-b) is empty: 3 cells.
+        assert len(cells) == 3
+
+    def test_simplex_restriction_removes_cells(self):
+        # A half-space satisfied only where x + y > 1.2 has no permissible cell.
+        h = Halfspace([1.0, 1.0], 1.2)
+        cells = enumerate_cells([h], restrict_to_simplex=True)
+        assert all(cell.bits == (0,) for cell in cells)
+
+    def test_interior_points_witness_their_bits(self):
+        halfspaces = [
+            Halfspace([1.0, -0.5], 0.1),
+            Halfspace([-0.3, 1.0], 0.2),
+            Halfspace([0.8, 0.7], 0.6),
+        ]
+        for cell in enumerate_cells(halfspaces, restrict_to_simplex=False):
+            for h, bit in zip(halfspaces, cell.bits):
+                assert h.contains_point(cell.interior_point) == bool(bit)
+
+    def test_max_order_filter(self):
+        halfspaces = [Halfspace([1.0, 0.0], 0.2), Halfspace([0.0, 1.0], 0.2)]
+        cells = enumerate_cells(halfspaces, restrict_to_simplex=False, max_order=1)
+        assert all(cell.order <= 1 for cell in cells)
+
+    def test_refuses_empty_input(self):
+        with pytest.raises(GeometryError):
+            enumerate_cells([])
+
+    def test_refuses_oversized_input(self):
+        halfspaces = [Halfspace([1.0, float(i)], 0.1) for i in range(1, 30)]
+        with pytest.raises(GeometryError):
+            enumerate_cells(halfspaces)
+
+    def test_inside_ids(self):
+        h = Halfspace([1.0, 0.0], 0.3, record_id=42)
+        cells = enumerate_cells([h], restrict_to_simplex=False)
+        inside_cell = next(cell for cell in cells if cell.order == 1)
+        assert inside_cell.inside_ids([h]) == [42]
+
+
+class TestMinimumOrderCells:
+    def test_minimum_order_zero_when_complement_feasible(self):
+        h = Halfspace([1.0, 0.0], 0.5)
+        best, cells = minimum_order_cells([h])
+        assert best == 0
+        assert all(cell.order == 0 for cell in cells)
+
+    def test_minimum_positive_when_halfspace_covers_simplex(self):
+        # x > -1 contains the entire permissible simplex: minimum order is 1.
+        h = Halfspace([1.0, 0.0], -1.0)
+        best, cells = minimum_order_cells([h])
+        assert best == 1
+        assert len(cells) == 1
+
+    def test_slack_returns_more_cells(self):
+        halfspaces = [Halfspace([1.0, 0.0], 0.4), Halfspace([0.0, 1.0], 0.4)]
+        _, tight = minimum_order_cells(halfspaces, slack=0)
+        _, loose = minimum_order_cells(halfspaces, slack=1)
+        assert len(loose) >= len(tight)

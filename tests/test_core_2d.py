@@ -1,0 +1,167 @@
+"""Tests for the two-dimensional MaxRank algorithms: FCA and AA-2D."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostCounters, Dataset, generate, generate_independent
+from repro.core import aa2d_maxrank, fca_maxrank, maxrank_exact_small, minimum_order_by_sampling
+from repro.errors import AlgorithmError
+from repro.topk import order_of
+
+
+class TestPaperExample:
+    """The running example of Sections 1 and 4 (Figures 1 and 2)."""
+
+    def test_fca_reproduces_figure_2(self, paper_example):
+        result = fca_maxrank(paper_example, 5)
+        assert result.k_star == 3
+        assert result.dominator_count == 1
+        assert result.region_count == 2
+        intervals = sorted((r.geometry.low, r.geometry.high) for r in result.regions)
+        assert intervals[0] == pytest.approx((0.0, 0.2), abs=1e-9)
+        assert intervals[1] == pytest.approx((0.4, 0.6), abs=1e-9)
+
+    def test_aa2d_reproduces_figure_2(self, paper_example):
+        result = aa2d_maxrank(paper_example, 5)
+        assert result.k_star == 3
+        assert result.region_count == 2
+        intervals = sorted((r.geometry.low, r.geometry.high) for r in result.regions)
+        assert intervals[0] == pytest.approx((0.0, 0.2), abs=1e-9)
+        assert intervals[1] == pytest.approx((0.4, 0.6), abs=1e-9)
+
+    def test_outscored_records_identified(self, paper_example):
+        """Figure 2: besides the dominator r1, the record beating p in (0, 0.2)
+        is r2 (index 1) and the one beating it in (0.4, 0.6) is r3 (index 2)."""
+        result = fca_maxrank(paper_example, 5)
+        by_interval = {
+            round(region.geometry.low, 1): set(region.outscored_by)
+            for region in result.regions
+        }
+        assert by_interval[0.0] == {1}
+        assert by_interval[0.4] == {2}
+
+    def test_imaxrank_tau_one_adds_regions(self, paper_example):
+        plain = fca_maxrank(paper_example, 5)
+        relaxed = fca_maxrank(paper_example, 5, tau=1)
+        assert relaxed.k_star == plain.k_star
+        assert relaxed.region_count >= plain.region_count
+        assert {region.order for region in relaxed.regions} <= {3, 4}
+        # With tau = 1 the whole query space is covered (orders are 3 or 4 everywhere).
+        assert sum(r.geometry.length for r in relaxed.regions) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestAgreementWithOracles:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_fca_and_aa2d_agree_with_exact_oracle(self, seed):
+        data = generate_independent(35, 2, seed=seed)
+        focal = seed % data.n
+        fca = fca_maxrank(data, focal)
+        aa2d = aa2d_maxrank(data, focal)
+        try:
+            oracle = maxrank_exact_small(data, focal)
+        except AlgorithmError:
+            oracle = None
+        assert fca.k_star == aa2d.k_star
+        if oracle is not None:
+            assert fca.k_star == oracle.k_star
+        assert fca.region_count == aa2d.region_count
+
+    @pytest.mark.parametrize("distribution", ["IND", "COR", "ANTI"])
+    def test_regions_verified_by_rank_computation(self, distribution):
+        """Sampling inside every reported region must yield order exactly k*."""
+        data = generate(distribution, 120, 2, seed=7)
+        focal = 11
+        result = aa2d_maxrank(data, focal)
+        rng = np.random.default_rng(0)
+        for region in result.regions:
+            for query in region.sample_queries(3, rng=rng):
+                assert order_of(data, data.record(focal), query) == result.k_star
+
+    def test_sampled_minimum_never_beats_k_star(self):
+        data = generate_independent(150, 2, seed=9)
+        focal = 3
+        result = fca_maxrank(data, focal)
+        sampled = minimum_order_by_sampling(data, focal, samples=1500, seed=1)
+        assert sampled >= result.k_star
+
+    def test_outside_regions_order_is_worse(self):
+        data = generate_independent(90, 2, seed=10)
+        focal = 5
+        result = fca_maxrank(data, focal)
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            q1 = rng.uniform(0.001, 0.999)
+            query = np.array([q1, 1.0 - q1])
+            inside = any(region.contains_query(query) for region in result.regions)
+            order = order_of(data, data.record(focal), query)
+            if not inside:
+                assert order > result.k_star
+
+
+class TestCostProfile:
+    def test_aa2d_reads_fewer_pages_than_fca(self):
+        """Figure 11's headline: AA-2D accesses far fewer pages than FCA.
+
+        AA only reads the pages needed for the dominator count, the skyline
+        and the expansion chain down to the result cells, so a focal record
+        that can rank reasonably well (small ``k*``) keeps that set far below
+        FCA's full scan.
+        """
+        data = generate_independent(3000, 2, seed=12)
+        sums = data.records.sum(axis=1)
+        focal = int(np.argsort(-sums)[25])   # a strong but not skyline record
+        fca_counters, aa_counters = CostCounters(), CostCounters()
+        fca = fca_maxrank(data, focal, counters=fca_counters)
+        aa2d = aa2d_maxrank(data, focal, counters=aa_counters)
+        assert fca.k_star == aa2d.k_star
+        assert aa_counters.page_reads < fca_counters.page_reads
+
+    def test_aa2d_accesses_fewer_records_than_fca(self):
+        data = generate_independent(2000, 2, seed=13)
+        fca = fca_maxrank(data, 50)
+        aa2d = aa2d_maxrank(data, 50)
+        assert aa2d.counters.records_accessed < fca.counters.records_accessed
+        assert fca.k_star == aa2d.k_star
+
+
+class TestEdgeCases:
+    def test_wrong_dimensionality_rejected(self):
+        data = generate_independent(20, 3, seed=1)
+        with pytest.raises(AlgorithmError):
+            fca_maxrank(data, 0)
+        with pytest.raises(AlgorithmError):
+            aa2d_maxrank(data, 0)
+
+    def test_negative_tau_rejected(self, paper_example):
+        with pytest.raises(AlgorithmError):
+            fca_maxrank(paper_example, 5, tau=-1)
+        with pytest.raises(AlgorithmError):
+            aa2d_maxrank(paper_example, 5, tau=-1)
+
+    def test_focal_dominating_everything(self):
+        data = Dataset([[0.9, 0.9], [0.1, 0.2], [0.2, 0.1], [0.3, 0.3]])
+        for result in (fca_maxrank(data, 0), aa2d_maxrank(data, 0)):
+            assert result.k_star == 1
+            assert result.region_count == 1
+            assert result.regions[0].geometry.length == pytest.approx(1.0)
+
+    def test_focal_dominated_by_everything(self):
+        data = Dataset([[0.1, 0.1], [0.5, 0.6], [0.6, 0.5], [0.9, 0.9]])
+        for result in (fca_maxrank(data, 0), aa2d_maxrank(data, 0)):
+            assert result.k_star == 4
+            assert result.dominator_count == 3
+
+    def test_external_focal_record(self):
+        data = generate_independent(50, 2, seed=3)
+        fca = fca_maxrank(data, [0.5, 0.5])
+        aa2d = aa2d_maxrank(data, [0.5, 0.5])
+        assert fca.k_star == aa2d.k_star
+
+    def test_duplicate_focal_records_ignored(self):
+        data = Dataset([[0.5, 0.5], [0.5, 0.5], [0.2, 0.3], [0.4, 0.1]])
+        result = fca_maxrank(data, 0)
+        # The duplicate ties everywhere (ignored) and the rest are dominees.
+        assert result.k_star == 1
+        assert result.dominator_count == 0

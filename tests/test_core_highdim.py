@@ -1,0 +1,217 @@
+"""Tests for the general-dimensionality MaxRank algorithms: BA and AA (d >= 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostCounters, Dataset, generate_independent
+from repro.core import (
+    aa_maxrank,
+    ba_maxrank,
+    maxrank_exact_small,
+    minimum_order_by_sampling,
+)
+from repro.errors import AlgorithmError
+from repro.topk import order_of
+
+
+def tiny_dataset(seed: int, n: int = 26, d: int = 3) -> Dataset:
+    """Datasets small enough for the exact arrangement oracle."""
+    return generate_independent(n, d, seed=seed)
+
+
+class TestAgreementWithExactOracle:
+    @pytest.mark.parametrize("seed", [2, 5, 8, 11])
+    def test_k_star_matches_oracle_d3(self, seed):
+        data = tiny_dataset(seed)
+        focal = seed % data.n
+        try:
+            oracle = maxrank_exact_small(data, focal)
+        except AlgorithmError:
+            pytest.skip("too many incomparable records for the exact oracle")
+        ba = ba_maxrank(data, focal)
+        aa = aa_maxrank(data, focal)
+        assert ba.k_star == oracle.k_star
+        assert aa.k_star == oracle.k_star
+        assert ba.dominator_count == oracle.dominator_count == aa.dominator_count
+
+    @pytest.mark.parametrize("seed", [3, 7])
+    def test_k_star_matches_oracle_d4(self, seed):
+        data = generate_independent(18, 4, seed=seed)
+        focal = 1
+        try:
+            oracle = maxrank_exact_small(data, focal)
+        except AlgorithmError:
+            pytest.skip("too many incomparable records for the exact oracle")
+        aa = aa_maxrank(data, focal)
+        assert aa.k_star == oracle.k_star
+
+    @pytest.mark.parametrize("seed", [0, 1, 4])
+    def test_ba_and_aa_agree_on_larger_inputs(self, seed):
+        data = generate_independent(120, 3, seed=seed)
+        focal = 10 + seed
+        ba = ba_maxrank(data, focal)
+        aa = aa_maxrank(data, focal)
+        assert ba.k_star == aa.k_star
+        assert ba.dominator_count == aa.dominator_count
+
+    def test_sampling_upper_bounds_k_star(self, medium_4d):
+        focal = 13
+        aa = aa_maxrank(medium_4d, focal)
+        sampled = minimum_order_by_sampling(medium_4d, focal, samples=3000, seed=5)
+        assert sampled >= aa.k_star
+
+
+class TestRegionSoundness:
+    @pytest.mark.parametrize("seed", [1, 6])
+    def test_orders_inside_regions_equal_k_star(self, seed):
+        data = generate_independent(80, 3, seed=seed)
+        focal = 4
+        aa = aa_maxrank(data, focal)
+        rng = np.random.default_rng(seed)
+        for region in aa.regions:
+            query = region.representative_query()
+            assert order_of(data, data.record(focal), query) == aa.k_star
+            for sample in region.sample_queries(2, rng=rng):
+                assert order_of(data, data.record(focal), sample) == aa.k_star
+
+    def test_region_membership_check_consistent(self, medium_4d):
+        focal = 21
+        aa = aa_maxrank(medium_4d, focal)
+        for region in aa.regions:
+            assert region.contains_query(region.representative_query())
+
+    def test_outscored_by_matches_region_order(self):
+        data = generate_independent(70, 3, seed=9)
+        focal = 8
+        aa = aa_maxrank(data, focal)
+        for region in aa.regions:
+            assert len(region.outscored_by) == region.cell_order
+            # Every listed record indeed outscores the focal record there.
+            query = region.representative_query()
+            focal_score = float(data.record(focal) @ query)
+            for record_id in region.outscored_by:
+                assert float(data.record(record_id) @ query) > focal_score
+
+    def test_ba_region_parts_cover_aa_regions(self):
+        """BA may split result cells across quad-tree leaves, but the reported
+        query-space area must cover the same vectors AA reports."""
+        data = generate_independent(60, 3, seed=12)
+        focal = 7
+        ba = ba_maxrank(data, focal)
+        aa = aa_maxrank(data, focal)
+        assert ba.k_star == aa.k_star
+        rng = np.random.default_rng(3)
+        for region in aa.regions:
+            for query in region.sample_queries(2, rng=rng):
+                assert any(other.contains_query(query) for other in ba.regions)
+
+
+class TestIMaxRank:
+    def test_tau_zero_equals_plain(self, small_3d):
+        focal = 5
+        plain = aa_maxrank(small_3d, focal)
+        explicit = aa_maxrank(small_3d, focal, tau=0)
+        assert plain.k_star == explicit.k_star
+        assert plain.region_count == explicit.region_count
+
+    def test_regions_grow_with_tau(self, small_3d):
+        focal = 5
+        counts = [aa_maxrank(small_3d, focal, tau=tau).region_count for tau in (0, 1, 2)]
+        assert counts[0] <= counts[1] <= counts[2]
+
+    def test_imaxrank_orders_within_band(self, small_3d):
+        focal = 9
+        tau = 2
+        result = aa_maxrank(small_3d, focal, tau=tau)
+        for region in result.regions:
+            assert result.k_star <= region.order <= result.k_star + tau
+
+    def test_imaxrank_region_orders_verified(self):
+        data = generate_independent(50, 3, seed=14)
+        focal = 3
+        tau = 1
+        result = aa_maxrank(data, focal, tau=tau)
+        for region in result.regions:
+            query = region.representative_query()
+            assert order_of(data, data.record(focal), query) == region.order
+
+
+class TestCostProfile:
+    def test_aa_accesses_fewer_records_than_ba(self, medium_4d):
+        focal = 30
+        ba_counters, aa_counters = CostCounters(), CostCounters()
+        ba = ba_maxrank(medium_4d, focal, counters=ba_counters)
+        aa = aa_maxrank(medium_4d, focal, counters=aa_counters)
+        assert ba.k_star == aa.k_star
+        assert aa_counters.records_accessed < ba_counters.records_accessed
+        assert aa_counters.halfspaces_inserted < ba_counters.halfspaces_inserted
+
+    def test_aa_reads_fewer_pages_than_ba(self):
+        from repro.index import RStarTree
+
+        data = generate_independent(600, 3, seed=15)
+        # A small fan-out gives the tree enough pages for the I/O difference
+        # to be visible at this scaled-down cardinality.
+        tree = RStarTree.build(data.records, max_entries=16)
+        sums = data.records.sum(axis=1)
+        focal = int(np.argsort(-sums)[10])
+        ba_counters, aa_counters = CostCounters(), CostCounters()
+        ba = ba_maxrank(data, focal, tree=tree, counters=ba_counters)
+        aa = aa_maxrank(data, focal, tree=tree, counters=aa_counters)
+        assert ba.k_star == aa.k_star
+        assert aa_counters.page_reads < ba_counters.page_reads
+
+    def test_counters_populated(self, small_3d):
+        counters = CostCounters()
+        aa_maxrank(small_3d, 2, counters=counters)
+        report = counters.as_dict()
+        assert report["halfspaces_inserted"] > 0
+        assert report["cells_examined"] > 0
+        assert counters.iterations >= 1
+
+
+class TestEdgeCasesHighDim:
+    def test_d2_rejected(self):
+        data = generate_independent(20, 2, seed=0)
+        with pytest.raises(AlgorithmError):
+            ba_maxrank(data, 0)
+        with pytest.raises(AlgorithmError):
+            aa_maxrank(data, 0)
+
+    def test_negative_tau_rejected(self, small_3d):
+        with pytest.raises(AlgorithmError):
+            aa_maxrank(small_3d, 0, tau=-2)
+
+    def test_focal_dominating_everything(self):
+        data = Dataset([[0.9, 0.9, 0.9], [0.1, 0.2, 0.3], [0.2, 0.1, 0.2], [0.3, 0.3, 0.1]])
+        for result in (ba_maxrank(data, 0), aa_maxrank(data, 0)):
+            assert result.k_star == 1
+            assert result.region_count == 1
+            assert result.regions[0].cell_order == 0
+
+    def test_focal_dominated_by_everything(self):
+        data = Dataset([[0.1, 0.1, 0.1], [0.5, 0.6, 0.7], [0.6, 0.5, 0.8], [0.9, 0.9, 0.9]])
+        for result in (ba_maxrank(data, 0), aa_maxrank(data, 0)):
+            assert result.k_star == 4
+            assert result.dominator_count == 3
+
+    def test_external_focal_record(self, small_3d):
+        external = np.full(3, 0.55)
+        ba = ba_maxrank(small_3d, external)
+        aa = aa_maxrank(small_3d, external)
+        assert ba.k_star == aa.k_star
+
+    def test_split_threshold_does_not_change_answer(self, small_3d):
+        focal = 11
+        default = aa_maxrank(small_3d, focal)
+        coarse = aa_maxrank(small_3d, focal, split_threshold=20)
+        assert default.k_star == coarse.k_star
+
+    def test_pairwise_pruning_does_not_change_answer(self, small_3d):
+        focal = 7
+        off = ba_maxrank(small_3d, focal, use_pairwise=False)
+        on = ba_maxrank(small_3d, focal, use_pairwise=True)
+        assert off.k_star == on.k_star
+        assert off.region_count == on.region_count

@@ -1,0 +1,162 @@
+"""Unit tests for the Dataset container and query-vector validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, random_permissible_vector, validate_query_vector
+from repro.errors import (
+    DimensionalityError,
+    InvalidDatasetError,
+    InvalidQueryVectorError,
+    InvalidRecordError,
+)
+
+
+class TestDatasetConstruction:
+    def test_basic_shape(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        assert data.n == 3
+        assert data.d == 2
+        assert len(data) == 3
+
+    def test_single_record_promoted_to_2d(self):
+        data = Dataset([1.0, 2.0, 3.0])
+        assert (data.n, data.d) == (1, 3)
+
+    def test_records_are_read_only(self):
+        data = Dataset([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            data.records[0, 0] = 9.0
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.zeros((0, 3)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, float("nan")]])
+
+    def test_infinite_rejected(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, float("inf")]])
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset(np.zeros((2, 2, 2)))
+
+    def test_attribute_names_length_checked(self):
+        with pytest.raises(InvalidDatasetError):
+            Dataset([[1.0, 2.0]], attribute_names=["only-one"])
+
+    def test_attribute_names_stored(self):
+        data = Dataset([[1.0, 2.0]], attribute_names=["a", "b"])
+        assert data.attribute_names == ("a", "b")
+
+
+class TestDatasetAccessors:
+    def test_record_lookup(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(data.record(1), [3.0, 4.0])
+        assert np.allclose(data[0], [1.0, 2.0])
+
+    def test_record_out_of_range(self):
+        data = Dataset([[1.0, 2.0]])
+        with pytest.raises(InvalidRecordError):
+            data.record(5)
+
+    def test_validate_focal_by_index(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(data.validate_focal(1), [3.0, 4.0])
+
+    def test_validate_focal_by_vector(self):
+        data = Dataset([[1.0, 2.0]])
+        assert np.allclose(data.validate_focal([0.5, 0.5]), [0.5, 0.5])
+
+    def test_validate_focal_wrong_dim(self):
+        data = Dataset([[1.0, 2.0]])
+        with pytest.raises(InvalidRecordError):
+            data.validate_focal([1.0, 2.0, 3.0])
+
+    def test_validate_focal_nan(self):
+        data = Dataset([[1.0, 2.0]])
+        with pytest.raises(InvalidRecordError):
+            data.validate_focal([float("nan"), 0.0])
+
+    def test_attribute_bounds(self):
+        data = Dataset([[0.0, 5.0], [1.0, 3.0]])
+        mins, maxs = data.attribute_bounds()
+        assert np.allclose(mins, [0.0, 3.0])
+        assert np.allclose(maxs, [1.0, 5.0])
+
+    def test_normalised_to_unit_range(self):
+        data = Dataset([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        norm = data.normalised()
+        assert norm.records.min() == pytest.approx(0.0)
+        assert norm.records.max() == pytest.approx(1.0)
+
+    def test_normalised_constant_attribute(self):
+        data = Dataset([[1.0, 7.0], [2.0, 7.0]])
+        norm = data.normalised()
+        assert np.allclose(norm.records[:, 1], 0.5)
+
+    def test_subset(self):
+        data = Dataset([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        sub = data.subset([2, 0])
+        assert sub.n == 2
+        assert np.allclose(sub.records[0], [5.0, 6.0])
+
+    def test_subset_empty_rejected(self):
+        data = Dataset([[1.0, 2.0]])
+        with pytest.raises(InvalidDatasetError):
+            data.subset([])
+
+    def test_scores(self):
+        data = Dataset([[1.0, 0.0], [0.0, 1.0]])
+        scores = data.scores([0.7, 0.3])
+        assert np.allclose(scores, [0.7, 0.3])
+
+
+class TestQueryVectorValidation:
+    def test_valid_vector(self):
+        q = validate_query_vector([0.4, 0.6], 2)
+        assert np.allclose(q, [0.4, 0.6])
+
+    def test_wrong_dimension(self):
+        with pytest.raises(DimensionalityError):
+            validate_query_vector([0.5, 0.5], 3)
+
+    def test_non_positive_weight(self):
+        with pytest.raises(InvalidQueryVectorError):
+            validate_query_vector([0.0, 1.0], 2)
+
+    def test_negative_weight(self):
+        with pytest.raises(InvalidQueryVectorError):
+            validate_query_vector([-0.1, 1.1], 2)
+
+    def test_nan_weight(self):
+        with pytest.raises(InvalidQueryVectorError):
+            validate_query_vector([float("nan"), 1.0], 2)
+
+    def test_normalisation_enforced_on_request(self):
+        with pytest.raises(InvalidQueryVectorError):
+            validate_query_vector([0.7, 0.7], 2, require_normalised=True)
+        q = validate_query_vector([0.5, 0.5], 2, require_normalised=True)
+        assert q.sum() == pytest.approx(1.0)
+
+
+class TestRandomPermissibleVector:
+    @given(d=st.integers(min_value=1, max_value=10), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_vectors_are_permissible(self, d, seed):
+        q = random_permissible_vector(d, np.random.default_rng(seed))
+        assert q.shape == (d,)
+        assert (q > 0).all()
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(DimensionalityError):
+            random_permissible_vector(0)

@@ -1,0 +1,92 @@
+"""Tests for the disk simulator and R*-tree node primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostCounters
+from repro.errors import IndexError_
+from repro.index import DEFAULT_PAGE_SIZE, DiskSimulator, LeafEntry, RStarNode
+
+
+class TestDiskSimulator:
+    def test_default_page_size_matches_paper(self):
+        assert DEFAULT_PAGE_SIZE == 4096
+
+    def test_page_allocation_is_sequential(self):
+        disk = DiskSimulator()
+        assert [disk.allocate_page() for _ in range(3)] == [0, 1, 2]
+        assert disk.pages_allocated == 3
+
+    def test_capacities_scale_with_page_size_and_dim(self):
+        small = DiskSimulator(page_size=1024)
+        large = DiskSimulator(page_size=8192)
+        assert small.leaf_capacity(4) < large.leaf_capacity(4)
+        assert large.leaf_capacity(8) < large.leaf_capacity(2)
+        assert small.leaf_capacity(100) >= 4   # floor keeps trees buildable
+
+    def test_internal_entries_are_larger_than_leaf_entries(self):
+        disk = DiskSimulator()
+        assert disk.internal_capacity(4) < disk.leaf_capacity(4)
+
+    def test_read_page_counts(self):
+        disk = DiskSimulator()
+        counters = CostCounters()
+        page = disk.allocate_page()
+        disk.read_page(page, counters)
+        disk.read_page(page, counters)
+        assert disk.total_reads == 2
+        assert counters.page_reads == 2
+        assert counters.distinct_page_reads == 1
+
+    def test_read_page_without_counters(self):
+        disk = DiskSimulator()
+        disk.read_page(disk.allocate_page())
+        assert disk.total_reads == 1
+
+
+class TestLeafEntry:
+    def test_point_read_only(self):
+        entry = LeafEntry(3, np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            entry.point[0] = 5.0
+
+    def test_count_and_mbr(self):
+        entry = LeafEntry(3, np.array([0.1, 0.2]))
+        assert entry.count == 1
+        assert entry.mbr.contains_point([0.1, 0.2])
+
+
+class TestRStarNode:
+    def test_leaf_accepts_only_leaf_entries(self):
+        leaf = RStarNode(level=0, page_id=0)
+        internal = RStarNode(level=1, page_id=1)
+        with pytest.raises(IndexError_):
+            leaf.add(internal)
+        with pytest.raises(IndexError_):
+            internal.add(LeafEntry(0, np.array([0.1, 0.2])))
+
+    def test_mbr_of_empty_node_rejected(self):
+        node = RStarNode(level=0, page_id=0)
+        with pytest.raises(IndexError_):
+            _ = node.mbr
+
+    def test_counts_and_invalidation(self):
+        leaf = RStarNode(level=0, page_id=0)
+        leaf.add(LeafEntry(0, np.array([0.1, 0.2])))
+        leaf.add(LeafEntry(1, np.array([0.3, 0.4])))
+        parent = RStarNode(level=1, page_id=1)
+        parent.add(leaf)
+        assert parent.count == 2
+        leaf.add(LeafEntry(2, np.array([0.5, 0.6])))
+        assert parent.count == 3   # cache must have been invalidated upward
+
+    def test_remove_detaches_child(self):
+        parent = RStarNode(level=1, page_id=0)
+        child = RStarNode(level=0, page_id=1)
+        child.add(LeafEntry(0, np.array([0.2, 0.2])))
+        parent.add(child)
+        parent.remove(child)
+        assert child.parent is None
+        assert len(parent) == 0

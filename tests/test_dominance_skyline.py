@@ -1,0 +1,156 @@
+"""Tests for dominance partitioning, BBS skyline, incremental skyline and k-skyband."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CostCounters, Dataset, generate_anticorrelated, generate_independent
+from repro.index import RStarTree
+from repro.skyline import (
+    IncrementalSkyline,
+    bbs_skyband,
+    bbs_skyline,
+    count_dominators_with_index,
+    dominates,
+    naive_skyband,
+    naive_skyline,
+    partition_by_dominance,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([0.5, 0.5], [0.4, 0.5])
+        assert dominates([0.5, 0.6], [0.4, 0.5])
+
+    def test_equal_records_do_not_dominate(self):
+        assert not dominates([0.5, 0.5], [0.5, 0.5])
+
+    def test_incomparable_records(self):
+        assert not dominates([0.9, 0.1], [0.1, 0.9])
+        assert not dominates([0.1, 0.9], [0.9, 0.1])
+
+    @given(st.lists(st.floats(0, 1, width=32), min_size=2, max_size=5),
+           st.lists(st.floats(0, 1, width=32), min_size=2, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_antisymmetric(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        assert not (dominates(a, b) and dominates(b, a))
+
+
+class TestPartition:
+    def test_paper_example_partition(self, paper_example):
+        partition = partition_by_dominance(paper_example, paper_example.record(5),
+                                           exclude_index=5)
+        assert partition.dominators.tolist() == [0]      # r1 dominates p
+        assert partition.dominees.tolist() == [4]        # r5 is dominated
+        assert partition.incomparable.tolist() == [1, 2, 3]
+        assert partition.dominator_count == 1
+
+    def test_duplicates_are_separated(self):
+        data = Dataset([[0.5, 0.5], [0.5, 0.5], [0.6, 0.6]])
+        partition = partition_by_dominance(data, data.record(0), exclude_index=0)
+        assert partition.duplicates.tolist() == [1]
+        assert partition.dominators.tolist() == [2]
+
+    def test_classes_are_exhaustive_and_disjoint(self):
+        data = generate_independent(200, 3, seed=1)
+        partition = partition_by_dominance(data, data.record(10), exclude_index=10)
+        groups = [partition.dominators, partition.dominees,
+                  partition.incomparable, partition.duplicates]
+        union = np.concatenate(groups)
+        assert len(union) == len(set(union.tolist()))
+        assert len(union) == data.n - 1  # everything but the focal record
+
+    def test_index_backed_dominator_count_matches(self):
+        data = generate_independent(300, 3, seed=2)
+        tree = RStarTree.build(data.records, max_entries=12)
+        for focal in (0, 17, 250):
+            partition = partition_by_dominance(data, data.record(focal), exclude_index=focal)
+            counted = count_dominators_with_index(tree, data.record(focal))
+            assert counted == partition.dominator_count
+
+
+class TestBBS:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_skyline_matches_naive(self, seed):
+        data = generate_anticorrelated(150, 3, seed=seed)
+        tree = RStarTree.build(data.records, max_entries=10)
+        expected = set(naive_skyline(data.records))
+        got = {record.record_id for record in bbs_skyline(tree)}
+        assert got == expected
+
+    def test_skyline_with_accept_filter(self):
+        data = generate_independent(120, 2, seed=4)
+        tree = RStarTree.build(data.records, max_entries=8)
+        keep = lambda record_id, point: record_id % 2 == 0
+        got = {r.record_id for r in bbs_skyline(tree, accept=keep)}
+        even_points = data.records[::2]
+        expected = {2 * i for i in naive_skyline(even_points)}
+        assert got == expected
+
+    def test_io_less_than_full_scan(self):
+        data = generate_independent(2000, 3, seed=5)
+        tree = RStarTree.build(data.records, max_entries=20)
+        counters = CostCounters()
+        bbs_skyline(tree, counters=counters)
+        assert counters.page_reads < tree.node_count()
+
+    def test_incremental_exclusion_matches_recomputation(self):
+        data = generate_independent(200, 3, seed=6)
+        tree = RStarTree.build(data.records, max_entries=10)
+        incremental = IncrementalSkyline(tree)
+        skyline = incremental.compute()
+        excluded = []
+        for _ in range(5):
+            victim = min(record.record_id for record in incremental.skyline)
+            excluded.append(victim)
+            incremental.exclude(victim)
+            remaining_mask = np.array([i not in excluded for i in range(data.n)])
+            remaining_points = data.records[remaining_mask]
+            remaining_ids = np.flatnonzero(remaining_mask)
+            expected = {int(remaining_ids[i]) for i in naive_skyline(remaining_points)}
+            got = {record.record_id for record in incremental.skyline}
+            assert got == expected
+
+    def test_exclude_returns_only_new_members(self):
+        data = generate_independent(150, 2, seed=7)
+        tree = RStarTree.build(data.records, max_entries=8)
+        incremental = IncrementalSkyline(tree)
+        before = {r.record_id for r in incremental.compute()}
+        victim = next(iter(before))
+        newly = incremental.exclude(victim)
+        for record in newly:
+            assert record.record_id not in before
+
+
+class TestSkyband:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_skyband_matches_naive(self, k):
+        data = generate_independent(120, 3, seed=8)
+        tree = RStarTree.build(data.records, max_entries=10)
+        expected = set(naive_skyband(data.records, k))
+        got = {record.record_id for record in bbs_skyband(tree, k)}
+        assert got == expected
+
+    def test_skyband_1_is_skyline(self):
+        data = generate_independent(100, 2, seed=9)
+        tree = RStarTree.build(data.records, max_entries=8)
+        assert ({r.record_id for r in bbs_skyband(tree, 1)}
+                == {r.record_id for r in bbs_skyline(tree)})
+
+    def test_skyband_grows_with_k(self):
+        data = generate_independent(100, 3, seed=10)
+        tree = RStarTree.build(data.records, max_entries=8)
+        sizes = [len(bbs_skyband(tree, k)) for k in (1, 2, 4)]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_invalid_k(self):
+        data = generate_independent(10, 2, seed=11)
+        tree = RStarTree.build(data.records)
+        with pytest.raises(ValueError):
+            bbs_skyband(tree, 0)

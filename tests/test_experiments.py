@@ -1,0 +1,110 @@
+"""Tests for the experiment harness, workload configs, reporting and drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_independent
+from repro.errors import ExperimentError
+from repro.experiments import (
+    CONFIGS,
+    format_series,
+    format_table,
+    get_config,
+    run_batch,
+    run_fig11_two_dimensions,
+    run_fig12_score_ratio,
+    run_table3_dimensionality,
+    select_focal_records,
+)
+
+
+class TestWorkloads:
+    def test_every_paper_experiment_has_a_config(self):
+        assert set(CONFIGS) == {"fig8", "fig9", "table3", "table4", "fig10", "fig11", "fig12"}
+
+    def test_both_scales_defined(self):
+        for config in CONFIGS.values():
+            assert config.small.queries >= 1
+            assert config.paper_shape.queries >= config.small.queries
+
+    def test_get_config_lookup(self):
+        assert get_config("FIG8").experiment_id == "fig8"
+        with pytest.raises(KeyError):
+            get_config("fig99")
+
+
+class TestHarness:
+    def test_select_focal_records_reproducible(self):
+        data = generate_independent(200, 3, seed=1)
+        a = select_focal_records(data, 5, seed=3)
+        b = select_focal_records(data, 5, seed=3)
+        assert a == b
+        assert len(set(a)) == 5
+
+    def test_select_focal_records_validation(self):
+        data = generate_independent(20, 3, seed=1)
+        with pytest.raises(ExperimentError):
+            select_focal_records(data, 0)
+
+    def test_run_batch_aggregates(self):
+        data = generate_independent(60, 3, seed=2)
+        batch = run_batch(data, algorithm="aa", queries=2, seed=0)
+        assert batch.queries == 2
+        assert batch.mean_k_star >= 1
+        assert batch.mean_io > 0
+        row = batch.as_row()
+        assert row["n"] == 60 and row["d"] == 3
+        assert row["algorithm"] == "aa"
+
+    def test_run_batch_with_explicit_focal_records(self):
+        data = generate_independent(50, 2, seed=3)
+        batch = run_batch(data, algorithm="fca", focal_indices=[1, 2, 3])
+        assert batch.queries == 3
+        assert [m.focal_index for m in batch.measurements] == [1, 2, 3]
+
+    def test_run_batch_tau_recorded(self):
+        data = generate_independent(40, 3, seed=4)
+        batch = run_batch(data, algorithm="aa", queries=1, tau=2)
+        assert batch.tau == 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_series(self):
+        text = format_series("n", [1, 2], {"cpu": [0.1, 0.2], "io": [5, 6]})
+        assert "cpu" in text and "io" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestDrivers:
+    """Smoke-test the cheaper figure drivers end to end (tiny workloads)."""
+
+    def test_fig12_rows_cover_dimensions(self):
+        rows = run_fig12_score_ratio("small", quiet=True)
+        dims = [row["d"] for row in rows]
+        assert dims == sorted(dims)
+        ratios = [row["ratio"] for row in rows]
+        # Dimensionality curse: the ratio at the largest d is below the d=2 ratio.
+        assert ratios[-1] < ratios[0]
+
+    @pytest.mark.slow
+    def test_fig11_driver_shapes(self):
+        rows = run_fig11_two_dimensions("small", quiet=True)
+        assert {row["algorithm"] for row in rows} == {"aa2d", "fca"}
+        assert {row["distribution"] for row in rows} == {"IND", "COR", "ANTI"}
+
+    @pytest.mark.slow
+    def test_table3_driver_shapes(self):
+        rows = run_table3_dimensionality("small", quiet=True)
+        assert [row["d"] for row in rows] == list(get_config("table3").small.dimensionalities)

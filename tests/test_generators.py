@@ -1,0 +1,91 @@
+"""Tests for the IND / COR / ANTI synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generate, generate_anticorrelated, generate_correlated, generate_independent
+from repro.errors import InvalidDatasetError
+
+
+class TestShapes:
+    @pytest.mark.parametrize("factory", [
+        generate_independent, generate_correlated, generate_anticorrelated,
+    ])
+    def test_shape_and_range(self, factory):
+        data = factory(500, 4, seed=1)
+        assert data.n == 500
+        assert data.d == 4
+        assert data.records.min() >= 0.0
+        assert data.records.max() <= 1.0
+
+    @pytest.mark.parametrize("factory", [
+        generate_independent, generate_correlated, generate_anticorrelated,
+    ])
+    def test_reproducible_with_seed(self, factory):
+        a = factory(100, 3, seed=42)
+        b = factory(100, 3, seed=42)
+        assert np.array_equal(a.records, b.records)
+
+    @pytest.mark.parametrize("factory", [
+        generate_independent, generate_correlated, generate_anticorrelated,
+    ])
+    def test_different_seeds_differ(self, factory):
+        a = factory(100, 3, seed=1)
+        b = factory(100, 3, seed=2)
+        assert not np.array_equal(a.records, b.records)
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(InvalidDatasetError):
+            generate_independent(0, 3)
+
+    def test_invalid_dimensionality(self):
+        with pytest.raises(InvalidDatasetError):
+            generate_independent(10, 1)
+
+
+class TestCorrelationStructure:
+    """The distributions must show the correlation signs the paper relies on."""
+
+    @staticmethod
+    def _mean_pairwise_correlation(records: np.ndarray) -> float:
+        corr = np.corrcoef(records, rowvar=False)
+        d = corr.shape[0]
+        off_diagonal = corr[~np.eye(d, dtype=bool)]
+        return float(off_diagonal.mean())
+
+    def test_independent_correlation_near_zero(self):
+        data = generate_independent(4000, 4, seed=3)
+        assert abs(self._mean_pairwise_correlation(data.records)) < 0.08
+
+    def test_correlated_attributes_positively_correlated(self):
+        data = generate_correlated(4000, 4, seed=3)
+        assert self._mean_pairwise_correlation(data.records) > 0.5
+
+    def test_anticorrelated_attributes_negatively_correlated(self):
+        data = generate_anticorrelated(4000, 4, seed=3)
+        assert self._mean_pairwise_correlation(data.records) < -0.1
+
+    def test_anticorrelated_skyline_larger_than_correlated(self):
+        """ANTI must have many more skyline records than COR (the standard benchmark fact)."""
+        from repro.skyline import naive_skyline
+
+        cor = generate_correlated(400, 3, seed=5)
+        anti = generate_anticorrelated(400, 3, seed=5)
+        assert len(naive_skyline(anti.records)) > 2 * len(naive_skyline(cor.records))
+
+
+class TestDispatch:
+    def test_generate_by_name(self):
+        for name in ("IND", "COR", "ANTI", "ind", "cor", "anti"):
+            data = generate(name, 50, 3, seed=0)
+            assert data.n == 50
+
+    def test_generate_unknown_name(self):
+        with pytest.raises(InvalidDatasetError):
+            generate("ZIPF", 50, 3)
+
+    def test_dataset_names_describe_parameters(self):
+        data = generate("IND", 50, 3, seed=0)
+        assert "50" in data.name and "3" in data.name

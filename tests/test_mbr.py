@@ -1,0 +1,122 @@
+"""Tests for minimum bounding rectangles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index import MBR
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+def boxes(dim: int = 3):
+    """Strategy producing valid (lower, upper) pairs."""
+    return st.lists(
+        st.tuples(unit_floats, unit_floats), min_size=dim, max_size=dim
+    ).map(lambda pairs: (np.array([min(a, b) for a, b in pairs]),
+                         np.array([max(a, b) for a, b in pairs])))
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self):
+        box = MBR.from_point([0.3, 0.7])
+        assert box.area == 0.0
+        assert box.contains_point([0.3, 0.7])
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(IndexError_):
+            MBR([1.0, 0.0], [0.0, 1.0])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(IndexError_):
+            MBR([0.0, 0.0], [1.0])
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            MBR.union_of([])
+
+
+class TestMeasures:
+    def test_area_and_margin(self):
+        box = MBR([0.0, 0.0], [2.0, 3.0])
+        assert box.area == pytest.approx(6.0)
+        assert box.margin == pytest.approx(5.0)
+
+    def test_centre(self):
+        box = MBR([0.0, 0.0], [2.0, 4.0])
+        assert np.allclose(box.centre, [1.0, 2.0])
+
+    def test_union(self):
+        a = MBR([0.0, 0.0], [1.0, 1.0])
+        b = MBR([2.0, -1.0], [3.0, 0.5])
+        union = a.union(b)
+        assert np.allclose(union.lower, [0.0, -1.0])
+        assert np.allclose(union.upper, [3.0, 1.0])
+
+    def test_enlargement_zero_when_contained(self):
+        outer = MBR([0.0, 0.0], [4.0, 4.0])
+        inner = MBR([1.0, 1.0], [2.0, 2.0])
+        assert outer.enlargement(inner) == pytest.approx(0.0)
+
+    def test_overlap_of_disjoint_boxes_is_zero(self):
+        a = MBR([0.0, 0.0], [1.0, 1.0])
+        b = MBR([2.0, 2.0], [3.0, 3.0])
+        assert a.overlap(b) == 0.0
+
+    def test_overlap_area(self):
+        a = MBR([0.0, 0.0], [2.0, 2.0])
+        b = MBR([1.0, 1.0], [3.0, 3.0])
+        assert a.overlap(b) == pytest.approx(1.0)
+
+
+class TestPredicates:
+    def test_contains_box(self):
+        outer = MBR([0.0, 0.0], [4.0, 4.0])
+        inner = MBR([1.0, 1.0], [2.0, 2.0])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_intersects_and_within(self):
+        box = MBR([1.0, 1.0], [2.0, 2.0])
+        assert box.intersects_box([0.0, 0.0], [1.5, 1.5])
+        assert not box.intersects_box([3.0, 3.0], [4.0, 4.0])
+        assert box.within_box([0.0, 0.0], [5.0, 5.0])
+        assert not box.within_box([0.0, 0.0], [1.5, 1.5])
+
+    def test_dominance_keys(self):
+        box = MBR([0.2, 0.2], [0.6, 0.8])
+        assert box.max_corner_sum() == pytest.approx(1.4)
+        assert box.upper_dominates_point([0.5, 0.5])
+        assert not box.upper_dominates_point([0.9, 0.9])
+        assert box.dominated_by_point([0.9, 0.9])
+        assert not box.dominated_by_point([0.5, 0.9])
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_union_contains_both(self, ab, cd):
+        a = MBR(*ab)
+        b = MBR(*cd)
+        union = a.union(b)
+        assert union.contains_box(a)
+        assert union.contains_box(b)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_symmetric_and_bounded(self, ab, cd):
+        a = MBR(*ab)
+        b = MBR(*cd)
+        assert a.overlap(b) == pytest.approx(b.overlap(a))
+        assert a.overlap(b) <= min(a.area, b.area) + 1e-12
+
+    @given(boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_enlargement_non_negative(self, ab):
+        a = MBR(*ab)
+        reference = MBR(np.zeros(3), np.ones(3))
+        assert reference.enlargement(a) >= -1e-12

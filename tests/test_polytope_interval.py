@@ -1,0 +1,180 @@
+"""Tests for convex polytopes, intervals and polygon clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    ConvexPolytope,
+    Halfspace,
+    Interval,
+    IntervalSet,
+    box_polygon,
+    clip_polygon,
+    polygon_area,
+    polygon_centroid,
+)
+
+
+class TestConvexPolytope:
+    def test_unit_box_not_empty(self):
+        poly = ConvexPolytope([], np.zeros(2), np.ones(2))
+        assert not poly.is_empty
+        assert poly.contains([0.5, 0.5])
+        assert poly.volume() == pytest.approx(1.0, rel=1e-6)
+
+    def test_halfspace_cut_volume(self):
+        cut = Halfspace([1.0, 0.0], 0.5)
+        poly = ConvexPolytope([cut], np.zeros(2), np.ones(2))
+        assert poly.volume() == pytest.approx(0.5, rel=1e-6)
+
+    def test_empty_polytope(self):
+        cut = Halfspace([1.0, 0.0], 0.5)
+        poly = ConvexPolytope([cut, cut.complement()], np.zeros(2), np.ones(2))
+        assert poly.is_empty
+        assert poly.volume() == 0.0
+        with pytest.raises(GeometryError):
+            poly.interior_point()
+        with pytest.raises(GeometryError):
+            poly.sample(1)
+
+    def test_interior_point_strictly_inside(self):
+        constraints = [Halfspace([1.0, 1.0], 0.8), Halfspace([-1.0, 1.0], -0.5)]
+        poly = ConvexPolytope(constraints, np.zeros(2), np.ones(2))
+        point = poly.interior_point()
+        assert poly.contains(point)
+
+    def test_contains_rejects_outside_box(self):
+        poly = ConvexPolytope([], np.zeros(2), np.ones(2))
+        assert not poly.contains([1.5, 0.5])
+
+    def test_vertices_of_triangle(self):
+        cut = Halfspace([-1.0, -1.0], -1.0)   # x + y < 1
+        poly = ConvexPolytope([cut], np.zeros(2), np.ones(2))
+        vertices = poly.vertices()
+        expected = {(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)}
+        got = {tuple(np.round(v, 6)) for v in vertices}
+        assert expected <= got
+
+    def test_vertices_1d(self):
+        cut = Halfspace([1.0], 0.25)
+        poly = ConvexPolytope([cut], np.zeros(1), np.ones(1))
+        vertices = poly.vertices()
+        assert sorted(v[0] for v in vertices) == pytest.approx([0.25, 1.0])
+
+    def test_sampling_inside(self, rng):
+        cut = Halfspace([1.0, 1.0, 1.0], 1.0)
+        poly = ConvexPolytope([cut], np.zeros(3), np.ones(3))
+        for point in poly.sample(20, rng=rng):
+            assert poly.contains(point, tol=1e-9)
+
+    def test_volume_3d_monte_carlo(self):
+        cut = Halfspace([-1.0, 0.0, 0.0], -0.5)   # x < 0.5
+        poly = ConvexPolytope([cut], np.zeros(3), np.ones(3))
+        assert poly.volume(samples=20000) == pytest.approx(0.5, abs=0.05)
+
+    def test_intersect_returns_new_polytope(self):
+        poly = ConvexPolytope([], np.zeros(2), np.ones(2))
+        cut = poly.intersect(Halfspace([1.0, 0.0], 0.9))
+        assert not cut.is_empty
+        assert cut.volume() == pytest.approx(0.1, rel=1e-5)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            ConvexPolytope([Halfspace([1.0], 0.0)], np.zeros(2), np.ones(2))
+
+
+class TestInterval:
+    def test_length_and_midpoint(self):
+        interval = Interval(0.2, 0.6)
+        assert interval.length == pytest.approx(0.4)
+        assert interval.midpoint == pytest.approx(0.4)
+
+    def test_empty_interval(self):
+        assert Interval(0.5, 0.5).is_empty
+        assert Interval(0.6, 0.5).is_empty
+
+    def test_contains_open(self):
+        interval = Interval(0.2, 0.6)
+        assert interval.contains(0.3)
+        assert not interval.contains(0.2)
+        assert not interval.contains(0.6)
+
+    def test_intersection(self):
+        a = Interval(0.0, 0.5)
+        b = Interval(0.3, 0.9)
+        overlap = a.intersect(b)
+        assert (overlap.low, overlap.high) == pytest.approx((0.3, 0.5))
+        assert a.intersect(Interval(0.7, 0.9)) is None
+
+
+class TestIntervalSet:
+    def test_normalisation_merges_overlaps(self):
+        intervals = IntervalSet([(0.0, 0.3), (0.2, 0.5), (0.7, 0.9)])
+        assert len(intervals) == 2
+        assert intervals.total_length == pytest.approx(0.7)
+
+    def test_union_and_intersection(self):
+        a = IntervalSet([(0.0, 0.4)])
+        b = IntervalSet([(0.3, 0.6)])
+        assert a.union(b).total_length == pytest.approx(0.6)
+        assert a.intersect(b).total_length == pytest.approx(0.1)
+
+    def test_contains(self):
+        intervals = IntervalSet([(0.0, 0.2), (0.5, 0.6)])
+        assert intervals.contains(0.1)
+        assert not intervals.contains(0.3)
+
+    def test_empty_set_is_falsy(self):
+        assert not IntervalSet()
+        assert IntervalSet([(0.1, 0.2)])
+
+    def test_sample_points_inside(self):
+        intervals = IntervalSet([(0.1, 0.2), (0.6, 0.9)])
+        for point in intervals.sample_points(per_interval=3):
+            assert intervals.contains(point)
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_total_length_bounded(self, pairs):
+        intervals = IntervalSet([(min(a, b), max(a, b)) for a, b in pairs])
+        assert 0.0 <= intervals.total_length <= 1.0 + 1e-9
+
+
+class TestClipping:
+    def test_box_polygon_area(self):
+        polygon = box_polygon([0.0, 0.0], [2.0, 1.0])
+        assert polygon_area(polygon) == pytest.approx(2.0)
+
+    def test_clip_halves_the_box(self):
+        polygon = box_polygon([0.0, 0.0], [1.0, 1.0])
+        clipped = clip_polygon(polygon, Halfspace([1.0, 0.0], 0.5))
+        assert polygon_area(clipped) == pytest.approx(0.5)
+
+    def test_clip_to_nothing(self):
+        polygon = box_polygon([0.0, 0.0], [1.0, 1.0])
+        assert clip_polygon(polygon, Halfspace([1.0, 0.0], 2.0)) is None
+
+    def test_centroid_of_clipped_region(self):
+        polygon = box_polygon([0.0, 0.0], [1.0, 1.0])
+        clipped = clip_polygon(polygon, Halfspace([1.0, 0.0], 0.5))
+        centroid = polygon_centroid(clipped)
+        assert centroid[0] == pytest.approx(0.75)
+        assert centroid[1] == pytest.approx(0.5)
+
+    def test_degenerate_centroid_rejected(self):
+        with pytest.raises(GeometryError):
+            polygon_centroid(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]))
+
+    def test_sequential_clipping_matches_intersection_area(self):
+        polygon = box_polygon([0.0, 0.0], [1.0, 1.0])
+        polygon = clip_polygon(polygon, Halfspace([1.0, 0.0], 0.25))    # x > 0.25
+        polygon = clip_polygon(polygon, Halfspace([0.0, 1.0], 0.25))    # y > 0.25
+        polygon = clip_polygon(polygon, Halfspace([-1.0, -1.0], -1.2))  # x + y < 1.2
+        # Remaining region: {u + v < 0.7} within the 0.75-sided square anchored
+        # at (0.25, 0.25), i.e. a right triangle of legs 0.7.
+        assert polygon_area(polygon) == pytest.approx(0.245, abs=1e-6)

@@ -1,0 +1,71 @@
+"""Tests for the simulated real datasets (HOTEL, HOUSE, NBA, PITCH, BAT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import REAL_DATASETS, load_real_dataset
+
+
+class TestSpecs:
+    def test_all_five_paper_datasets_present(self):
+        assert set(REAL_DATASETS) == {"HOTEL", "HOUSE", "NBA", "PITCH", "BAT"}
+
+    def test_paper_dimensionalities(self):
+        expected = {"HOTEL": 4, "HOUSE": 6, "NBA": 8, "PITCH": 8, "BAT": 9}
+        for name, d in expected.items():
+            assert REAL_DATASETS[name].d == d
+
+    def test_paper_cardinalities_recorded(self):
+        expected = {
+            "HOTEL": 418_843,
+            "HOUSE": 315_265,
+            "NBA": 21_961,
+            "PITCH": 43_058,
+            "BAT": 99_847,
+        }
+        for name, n in expected.items():
+            assert REAL_DATASETS[name].paper_n == n
+
+    def test_attribute_names_match_dimensionality(self):
+        for spec in REAL_DATASETS.values():
+            assert len(spec.attributes) == spec.d
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", sorted(REAL_DATASETS))
+    def test_load_default(self, name):
+        data = load_real_dataset(name, n=400, seed=1)
+        assert data.n == 400
+        assert data.d == REAL_DATASETS[name].d
+        assert data.records.min() >= 0.0
+        assert data.records.max() <= 1.0
+
+    def test_load_without_normalisation(self):
+        data = load_real_dataset("HOTEL", n=200, seed=1, normalise=False)
+        assert data.records.max() > 1.0  # raw prices / room counts exceed 1
+
+    def test_reproducible(self):
+        a = load_real_dataset("NBA", n=300, seed=9)
+        b = load_real_dataset("NBA", n=300, seed=9)
+        assert np.array_equal(a.records, b.records)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_real_dataset("MOVIES")
+
+    def test_case_insensitive(self):
+        data = load_real_dataset("hotel", n=100, seed=0)
+        assert data.name == "HOTEL"
+
+    def test_correlation_ordering_nba_vs_pitch(self):
+        """PITCH is more correlated than NBA (the paper's explanation of Table 4)."""
+        def mean_corr(records):
+            corr = np.corrcoef(records, rowvar=False)
+            d = corr.shape[0]
+            return float(corr[~np.eye(d, dtype=bool)].mean())
+
+        nba = load_real_dataset("NBA", n=2000, seed=4)
+        pitch = load_real_dataset("PITCH", n=2000, seed=4)
+        assert mean_corr(pitch.records) > mean_corr(nba.records)

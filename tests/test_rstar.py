@@ -1,0 +1,135 @@
+"""Tests for the R*-tree: construction, range queries, aggregate counts, I/O accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CostCounters, generate_independent
+from repro.errors import IndexError_
+from repro.index import RStarTree
+
+
+def brute_force_range(points: np.ndarray, lower, upper) -> set:
+    lower = np.asarray(lower)
+    upper = np.asarray(upper)
+    mask = np.all(points >= lower, axis=1) & np.all(points <= upper, axis=1)
+    return set(np.flatnonzero(mask).tolist())
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("method", ["bulk", "insert"])
+    def test_all_records_present(self, method):
+        data = generate_independent(200, 3, seed=1)
+        tree = RStarTree.build(data.records, method=method, max_entries=16)
+        stored = sorted(entry.record_id for entry in tree.all_entries())
+        assert stored == list(range(200))
+
+    @pytest.mark.parametrize("method", ["bulk", "insert"])
+    def test_node_capacity_respected(self, method):
+        data = generate_independent(300, 2, seed=2)
+        tree = RStarTree.build(data.records, method=method, max_entries=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert len(node.entries) <= 8
+            if not node.is_leaf:
+                stack.extend(node.entries)
+
+    def test_mbrs_contain_children(self):
+        data = generate_independent(400, 3, seed=3)
+        tree = RStarTree.build(data.records, max_entries=12)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    assert node.mbr.contains_point(entry.point)
+            else:
+                for child in node.entries:
+                    assert node.mbr.contains_box(child.mbr)
+                    stack.append(child)
+
+    def test_aggregate_counts_consistent(self):
+        data = generate_independent(250, 3, seed=4)
+        tree = RStarTree.build(data.records, max_entries=10)
+        assert tree.root.count == 250
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                assert node.count == sum(child.count for child in node.entries)
+                stack.extend(node.entries)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(IndexError_):
+            RStarTree(0)
+        with pytest.raises(IndexError_):
+            RStarTree.build(np.zeros((0, 2)))
+        with pytest.raises(IndexError_):
+            RStarTree.build(np.zeros((5, 2)), method="mystery")
+        with pytest.raises(IndexError_):
+            RStarTree(2, max_entries=2)
+
+    def test_insert_wrong_dimension(self):
+        tree = RStarTree(3)
+        with pytest.raises(IndexError_):
+            tree.insert([0.1, 0.2], 0)
+
+    def test_fanout_derived_from_page_size(self):
+        small_pages = RStarTree(4, page_size=512)
+        large_pages = RStarTree(4, page_size=8192)
+        assert small_pages._leaf_capacity < large_pages._leaf_capacity
+
+
+class TestQueries:
+    @pytest.mark.parametrize("method", ["bulk", "insert"])
+    def test_range_query_matches_brute_force(self, method):
+        data = generate_independent(300, 3, seed=5)
+        tree = RStarTree.build(data.records, method=method, max_entries=10)
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            lower = rng.uniform(0.0, 0.6, size=3)
+            upper = lower + rng.uniform(0.1, 0.4, size=3)
+            expected = brute_force_range(data.records, lower, upper)
+            got = {record_id for record_id, _ in tree.range_query(lower, upper)}
+            assert got == expected
+
+    def test_range_count_matches_query(self):
+        data = generate_independent(400, 4, seed=6)
+        tree = RStarTree.build(data.records, max_entries=12)
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            lower = rng.uniform(0.0, 0.5, size=4)
+            upper = lower + rng.uniform(0.1, 0.5, size=4)
+            count = tree.range_count(lower, upper)
+            assert count == len(tree.range_query(lower, upper))
+
+    def test_range_count_uses_fewer_pages_than_query(self):
+        """Aggregate counting must not read the leaves of fully covered subtrees."""
+        data = generate_independent(2000, 2, seed=7)
+        tree = RStarTree.build(data.records, max_entries=16)
+        count_counters = CostCounters()
+        query_counters = CostCounters()
+        lower, upper = [0.1, 0.1], [0.9, 0.9]
+        tree.range_count(lower, upper, count_counters)
+        tree.range_query(lower, upper, query_counters)
+        assert count_counters.page_reads < query_counters.page_reads
+
+    def test_io_accounting(self):
+        data = generate_independent(500, 3, seed=8)
+        tree = RStarTree.build(data.records, max_entries=10)
+        counters = CostCounters()
+        tree.range_query(np.zeros(3), np.ones(3), counters)
+        assert counters.page_reads == tree.node_count()
+        assert counters.records_accessed == 500
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_whole_space_query_returns_everything(self, seed):
+        data = generate_independent(120, 2, seed=seed)
+        tree = RStarTree.build(data.records, max_entries=8)
+        results = tree.range_query([0.0, 0.0], [1.0, 1.0])
+        assert len(results) == 120

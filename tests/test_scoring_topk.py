@@ -1,0 +1,128 @@
+"""Tests for the top-k substrate: scoring, ranking, top-k queries and onion layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset, generate_independent, random_permissible_vector
+from repro.topk import (
+    convex_hull_layers,
+    layer_of,
+    order_of,
+    rank_histogram,
+    score,
+    score_all,
+    score_ratio,
+    top_k,
+    top_k_indices,
+)
+
+
+class TestScoring:
+    def test_score_dot_product(self):
+        assert score([0.5, 0.5], [0.6, 0.4]) == pytest.approx(0.5)
+
+    def test_score_all_matches_manual(self):
+        data = Dataset([[1.0, 0.0], [0.25, 0.75]])
+        assert np.allclose(score_all(data, [0.4, 0.6]), [0.4, 0.55])
+
+    def test_order_of_paper_example(self, paper_example):
+        """Figure 1(a): p has order 4 w.r.t. q1=(0.7,0.3) and order 3 w.r.t. q2=(0.1,0.9)."""
+        focal = paper_example.record(5)
+        assert order_of(paper_example, focal, [0.7, 0.3]) == 4
+        assert order_of(paper_example, focal, [0.1, 0.9]) == 3
+
+    def test_order_of_top_record_is_one(self):
+        data = Dataset([[0.9, 0.9], [0.1, 0.1]])
+        assert order_of(data, 0, [0.5, 0.5]) == 1
+
+    def test_order_ignores_self_and_ties(self):
+        data = Dataset([[0.5, 0.5], [0.5, 0.5], [0.9, 0.9]])
+        # The duplicate ties with the focal record and must not increase its order.
+        assert order_of(data, 0, [0.5, 0.5]) == 2
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_order_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        data = generate_independent(50, 3, seed=seed)
+        q = random_permissible_vector(3, rng)
+        focal = data.record(0)
+        scores = data.records @ q
+        expected = int((scores > float(focal @ q)).sum()) + 1
+        assert order_of(data, 0, q) == expected
+
+
+class TestTopK:
+    def test_top_k_returns_best_records(self):
+        data = Dataset([[0.9, 0.9], [0.1, 0.1], [0.5, 0.5]])
+        result = top_k(data, [0.5, 0.5], 2)
+        assert list(result.indices) == [0, 2]
+        assert len(result) == 2
+
+    def test_top_k_deterministic_tie_break(self):
+        data = Dataset([[0.5, 0.5], [0.5, 0.5], [0.4, 0.4]])
+        assert list(top_k_indices(data, [0.5, 0.5], 2)) == [0, 1]
+
+    def test_top_k_k_larger_than_n(self):
+        data = Dataset([[0.5, 0.5], [0.4, 0.4]])
+        assert len(top_k(data, [0.5, 0.5], 10)) == 2
+
+    def test_top_k_invalid_k(self):
+        data = Dataset([[0.5, 0.5]])
+        with pytest.raises(ValueError):
+            top_k(data, [0.5, 0.5], 0)
+
+    def test_scores_sorted_descending(self):
+        data = generate_independent(30, 3, seed=7)
+        result = top_k(data, [0.2, 0.3, 0.5], 10)
+        assert np.all(np.diff(result.scores) <= 1e-12)
+
+    def test_rank_histogram(self, paper_example):
+        focal = paper_example.record(5)
+        orders = rank_histogram(paper_example, focal, [[0.7, 0.3], [0.1, 0.9]])
+        assert orders == [4, 3]
+
+
+class TestScoreRatio:
+    def test_ratio_at_least_one(self):
+        data = generate_independent(100, 3, seed=1)
+        assert score_ratio(data, [0.3, 0.3, 0.4]) >= 1.0
+
+    def test_ratio_decreases_with_dimensionality(self):
+        """The appendix's dimensionality-curse effect: the ratio shrinks as d grows."""
+        rng = np.random.default_rng(0)
+        low_d = score_ratio(generate_independent(2000, 2, seed=2),
+                            random_permissible_vector(2, rng))
+        high_d = score_ratio(generate_independent(2000, 12, seed=2),
+                             random_permissible_vector(12, rng))
+        assert low_d > high_d
+
+
+class TestOnionLayers:
+    def test_layers_partition_all_records(self):
+        data = generate_independent(60, 2, seed=3)
+        layers = convex_hull_layers(data)
+        assigned = np.concatenate(layers)
+        assert sorted(assigned.tolist()) == list(range(data.n))
+
+    def test_first_layer_contains_best_record_for_any_query(self, rng):
+        data = generate_independent(80, 2, seed=4)
+        layers = convex_hull_layers(data, max_layers=1)
+        first_layer = set(layers[0].tolist())
+        for _ in range(10):
+            q = random_permissible_vector(2, rng)
+            best = int(np.argmax(data.records @ q))
+            assert best in first_layer
+
+    def test_layer_of_returns_positive_index(self):
+        data = generate_independent(40, 2, seed=5)
+        assert layer_of(data, 0) >= 1
+
+    def test_tiny_dataset_single_layer(self):
+        data = Dataset([[0.1, 0.2], [0.3, 0.4]])
+        layers = convex_hull_layers(data)
+        assert len(layers) == 1 and len(layers[0]) == 2
