@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Benchmark regression harness for the MaxRank query stack.
+
+Runs a fixed workload matrix (subsets of the paper's Figure 8 / Figure 9
+sweeps) and records, per configuration: wall-clock, per-query CPU, simulated
+I/O, the exact result fingerprint (``k*``, region counts, minimum cell
+orders per query) and the screen→LP funnel counters of the batched
+feasibility engine.  The numbers are written to ``BENCH_maxrank.json`` at
+the repository root, which is committed so every PR carries its performance
+trajectory.
+
+Modes
+-----
+``python benchmarks/baseline.py``
+    Run the full matrix and print a report (no file written).
+``python benchmarks/baseline.py --update``
+    Run and rewrite the ``current`` section of ``BENCH_maxrank.json``
+    (the ``pre_pr`` section, when present, is preserved).
+``python benchmarks/baseline.py --compare``
+    Run and fail (exit 1) when, against the committed baseline:
+
+    * any result fingerprint differs (``k*`` / region counts / minimum cell
+      orders are required to be bit-identical), or
+    * a deterministic work counter (LP calls, candidate cells) regresses by
+      more than 15 %, or
+    * calibrated wall-clock regresses by more than 15 %.  Wall-clock is
+      normalised by a short CPU calibration loop measured on both sides, so
+      the check is meaningful across machines of different speeds.
+``--quick``
+    Restrict any of the modes above to the quick subset (used by CI).
+
+The workload matrix is intentionally frozen: the ``--compare`` mode is only
+sound when both sides ran identical configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.generators import generate              # noqa: E402
+from repro.experiments.harness import run_batch         # noqa: E402
+from repro.experiments.reporting import format_table, screen_funnel  # noqa: E402
+from repro.geometry.seidel import solve_lp              # noqa: E402
+from repro.index.rstar import RStarTree                 # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_maxrank.json"
+SCHEMA = 1
+#: Maximum tolerated regression for calibrated wall-clock and for the
+#: deterministic work counters.
+REGRESSION_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One frozen benchmark configuration."""
+
+    key: str
+    distribution: str
+    n: int
+    d: int
+    queries: int
+    quick: bool = False
+
+
+CONFIGS: List[BenchConfig] = [
+    BenchConfig("quick/fig9/d=4", "IND", 150, 4, 1, quick=True),
+    BenchConfig("fig9/d=4", "IND", 300, 4, 2, quick=True),
+    BenchConfig("fig9/d=5", "IND", 300, 5, 1),
+    BenchConfig("fig8/IND/n=600", "IND", 600, 4, 2),
+    BenchConfig("fig8/COR/n=600", "COR", 600, 4, 2),
+    BenchConfig("fig8/ANTI/n=600", "ANTI", 600, 4, 2),
+]
+
+#: Work counters whose regression fails a --compare run.  They are
+#: deterministic for a fixed workload, so the tolerance only absorbs
+#: intentional small algorithm adjustments, not machine noise.
+WORK_COUNTERS = ("lp_calls", "cells_examined")
+
+
+def calibrate(rounds: int = 1500) -> float:
+    """Seconds for a fixed CPU workload; normalises wall-clock across hosts.
+
+    Mixes the two ingredients the benchmark exercises — the pure-Python
+    Seidel solver and small-array numpy work — so the ratio between two
+    machines transfers reasonably to the measured queries.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    constraints = [(list(map(float, rng.normal(size=4))), float(rng.normal()))
+                   for _ in range(24)]
+    box_lower = [0.0] * 4
+    box_upper = [1.0] * 4
+    objective = [1.0, 0.5, -0.25, 0.125]
+    matrix = rng.normal(size=(64, 8))
+    start = time.perf_counter()
+    for _ in range(rounds):
+        solve_lp(constraints, objective, box_lower, box_upper)
+        (matrix @ matrix.T).sum()
+    return time.perf_counter() - start
+
+
+def run_config(config: BenchConfig) -> Dict[str, object]:
+    """Execute one configuration and return its measurement record."""
+    dataset = generate(config.distribution, config.n, config.d, seed=0)
+    tree = RStarTree.build(dataset.records)
+    start = time.perf_counter()
+    batch = run_batch(
+        dataset,
+        algorithm="aa",
+        queries=config.queries,
+        seed=0,
+        tree=tree,
+        label=config.key,
+    )
+    wall = time.perf_counter() - start
+    measurements = batch.measurements
+    counters: Dict[str, float] = {}
+    for measurement in measurements:
+        for name, value in measurement.counters.items():
+            if not name.startswith("time_"):
+                counters[name] = counters.get(name, 0.0) + value
+    funnel = screen_funnel(counters)
+    return {
+        "wall_s": round(wall, 4),
+        "cpu_s": round(batch.mean_cpu, 4),
+        "io": batch.mean_io,
+        "k_stars": [m.k_star for m in measurements],
+        "region_counts": [m.region_count for m in measurements],
+        "lp_calls": int(counters.get("lp_calls", 0)),
+        "cells_examined": int(counters.get("cells_examined", 0)),
+        "pairwise_pruned": int(counters.get("pairwise_pruned", 0)),
+        "screen_accepts": int(counters.get("screen_accepts", 0)),
+        "screen_rejects": int(counters.get("screen_rejects", 0)),
+        "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
+    }
+
+
+def run_matrix(quick: bool) -> Dict[str, Dict[str, object]]:
+    """Run the (possibly restricted) workload matrix."""
+    results: Dict[str, Dict[str, object]] = {}
+    for config in CONFIGS:
+        if quick and not config.quick:
+            continue
+        print(f"running {config.key} ...", flush=True)
+        results[config.key] = run_config(config)
+    return results
+
+
+def load_baseline() -> Optional[Dict[str, object]]:
+    if not BASELINE_PATH.exists():
+        return None
+    with BASELINE_PATH.open() as handle:
+        return json.load(handle)
+
+
+def compare(
+    current: Dict[str, Dict[str, object]],
+    current_calibration: float,
+    baseline: Dict[str, object],
+) -> List[str]:
+    """Return a list of failure messages (empty when the run is clean)."""
+    failures: List[str] = []
+    base_entries = baseline.get("current", {}).get("configs", {})
+    base_calibration = float(baseline.get("current", {}).get("calibration_s", 0.0))
+    for key, entry in current.items():
+        base = base_entries.get(key)
+        if base is None:
+            failures.append(f"{key}: missing from committed baseline")
+            continue
+        for field in ("k_stars", "region_counts"):
+            if entry[field] != base[field]:
+                failures.append(
+                    f"{key}: result fingerprint changed — {field} "
+                    f"{base[field]} -> {entry[field]}"
+                )
+        for counter in WORK_COUNTERS:
+            base_value = float(base.get(counter, 0))
+            value = float(entry.get(counter, 0))
+            if base_value > 0 and value > base_value * (1 + REGRESSION_TOLERANCE):
+                failures.append(
+                    f"{key}: {counter} regressed {base_value:.0f} -> {value:.0f}"
+                )
+        if base_calibration > 0 and current_calibration > 0:
+            base_scaled = float(base["wall_s"]) / base_calibration
+            scaled = float(entry["wall_s"]) / current_calibration
+            if scaled > base_scaled * (1 + REGRESSION_TOLERANCE):
+                failures.append(
+                    f"{key}: calibrated wall-clock regressed "
+                    f"{base_scaled:.2f} -> {scaled:.2f} "
+                    f"(raw {base['wall_s']}s -> {entry['wall_s']}s)"
+                )
+    return failures
+
+
+def print_report(results: Dict[str, Dict[str, object]]) -> None:
+    rows = []
+    for key, entry in results.items():
+        rows.append({
+            "config": key,
+            "wall_s": entry["wall_s"],
+            "k*": "/".join(str(v) for v in entry["k_stars"]),
+            "|T|": "/".join(str(v) for v in entry["region_counts"]),
+            "lp": entry["lp_calls"],
+            "cells": entry["cells_examined"],
+            "pruned": entry["pairwise_pruned"],
+            "screened%": round(100 * entry["screen_resolved_ratio"], 1),
+        })
+    print()
+    print(format_table(rows, title="MaxRank benchmark matrix"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the quick subset (CI smoke)")
+    parser.add_argument("--compare", action="store_true",
+                        help="fail on regression against BENCH_maxrank.json")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the 'current' section of BENCH_maxrank.json")
+    args = parser.parse_args(argv)
+
+    calibration = calibrate()
+    print(f"calibration: {calibration:.3f}s")
+    results = run_matrix(quick=args.quick)
+    print_report(results)
+
+    status = 0
+    if args.compare:
+        baseline = load_baseline()
+        if baseline is None:
+            print(f"no committed baseline at {BASELINE_PATH}", file=sys.stderr)
+            status = 1
+        else:
+            failures = compare(results, calibration, baseline)
+            if failures:
+                print("\nREGRESSIONS:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  - {failure}", file=sys.stderr)
+                status = 1
+            else:
+                print("\ncompare: OK (within tolerance of committed baseline)")
+
+    if args.update:
+        baseline = load_baseline() or {}
+        previous = baseline.get("current", {}).get("configs", {})
+        merged = dict(previous)
+        merged.update(results)
+        baseline["schema"] = SCHEMA
+        baseline["current"] = {
+            "calibration_s": round(calibration, 4),
+            "configs": merged,
+        }
+        with BASELINE_PATH.open("w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"updated {BASELINE_PATH}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

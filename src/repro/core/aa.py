@@ -51,16 +51,18 @@ def aa_maxrank(
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
-    use_pairwise: bool = False,
+    use_pairwise: bool = True,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the advanced approach (``d ≥ 3``).
 
     Parameters mirror :func:`repro.core.ba.ba_maxrank`; the difference is in
     how many records are accessed and how many half-spaces are inserted.
-    ``use_pairwise`` defaults to off because with the LP-based feasibility
-    substrate the pairwise pre-analysis costs more than it saves (ablation
-    A1 in ``benchmarks/``); it matters when the per-cell intersection is as
-    expensive as the authors' Qhull calls.
+    ``use_pairwise`` defaults to on: the pair analysis is resolved through
+    the same batched screens as the cells themselves (probe certification
+    plus corner-extreme rejects), so it costs a handful of matrix products
+    and an LP only per genuinely ambiguous pair — while each forbidden pair
+    dismisses whole swaths of candidate bit-strings before any feasibility
+    work.  Ablation A1 in ``benchmarks/`` quantifies the trade-off.
     """
     if dataset.d < 3:
         raise AlgorithmError(
@@ -81,21 +83,33 @@ def aa_maxrank(
 
     record_to_hid: Dict[int, int] = {}
     augmented_ids: Set[int] = set()
+    staged: List = []
 
-    def add_record(record_id: int, point: np.ndarray) -> None:
-        """Insert the (augmented) half-space of a newly exposed skyline record."""
+    def stage_record(record_id: int, point: np.ndarray) -> None:
+        """Stage the (augmented) half-space of a newly exposed skyline record."""
         if record_id in record_to_hid:
             return
-        halfspace = halfspace_for_record(
-            point, accessor.focal, record_id=record_id, augmented=True
+        record_to_hid[record_id] = -1  # reserved; real id assigned on flush
+        staged.append(
+            (record_id, halfspace_for_record(
+                point, accessor.focal, record_id=record_id, augmented=True
+            ))
         )
-        hid = quadtree.insert(halfspace)
-        record_to_hid[record_id] = hid
-        augmented_ids.add(hid)
+
+    def flush_staged() -> None:
+        """Bulk-insert every staged half-space with one tree descent."""
+        if not staged:
+            return
+        ids = quadtree.insert_bulk([halfspace for _, halfspace in staged])
+        for (record_id, _), hid in zip(staged, ids):
+            record_to_hid[record_id] = hid
+            augmented_ids.add(hid)
+        staged.clear()
 
     with counters.timer("skyline"):
         for member in skyline.compute():
-            add_record(member.record_id, member.point)
+            stage_record(member.record_id, member.point)
+        flush_staged()
 
     if len(quadtree) == 0:
         regions = [whole_space_region(reduced_dim, dominators)]
@@ -158,7 +172,8 @@ def aa_maxrank(
                     if record_id is None:
                         continue
                     for member in skyline.exclude(record_id):
-                        add_record(member.record_id, member.point)
+                        stage_record(member.record_id, member.point)
+                flush_staged()
 
     if not final_cells:
         raise AlgorithmError(

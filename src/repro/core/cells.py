@@ -13,13 +13,23 @@ arrangement.  The iMaxRank variant widens the collection bound by ``τ``.
 leaf, the within-leaf cell, its order, and the ids of the half-spaces that
 contain it.  :func:`region_for_cell` converts a record into the user-facing
 :class:`~repro.core.result.MaxRankRegion`.
+
+The scan is *incremental*: it walks the tree's lazily-validated priority
+buckets (leaves keyed by ``|F_l|``) instead of traversing and sorting every
+leaf, so its cost is proportional to the number of competitive leaves — not
+to the size of the tree.  Between AA iterations only the leaves reported
+dirty by the tree (partial-overlap set grew) lose their cached within-leaf
+state, and even then the witness points they had already found are passed to
+the replacement processor as accept-screen probes, which makes re-scans of
+a grown leaf largely LP-free.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
 
 from ..geometry.halfspace import reduced_space_constraints
 from ..geometry.polytope import ConvexPolytope
@@ -73,12 +83,27 @@ class _LeafScanState:
             self.weight_cells[weight] = self.processor.cells_at_weight(weight)
         return self.weight_cells[weight]
 
+    def witness_points(self) -> List[np.ndarray]:
+        """Interior points of every memoised non-empty cell.
+
+        When the leaf's partial set grows, these remain interior points of
+        cells of the refined arrangement and are handed to the replacement
+        processor as accept-screen probes.
+        """
+        points = [
+            cell.interior_point
+            for cells in self.weight_cells.values()
+            for cell in cells
+        ]
+        points.extend(self.processor.witness_probes())
+        return points
+
 
 def collect_cells(
     tree: AugmentedQuadTree,
     *,
     tau: int = 0,
-    use_pairwise: bool = False,
+    use_pairwise: bool = True,
     counters: Optional[CostCounters] = None,
     cache: Optional[dict] = None,
 ) -> Tuple[Optional[int], List[CellRecord]]:
@@ -101,20 +126,24 @@ def collect_cells(
     ----------
     cache:
         Optional dictionary reused across calls (AA scans the same tree once
-        per iteration).  Per-leaf, per-weight results are stored keyed by the
-        leaf object and invalidated when the leaf's partial-overlap set has
-        grown since they were computed.
+        per iteration).  Per-leaf, per-weight results are stored keyed by
+        ``id(leaf)`` and invalidated when the leaf's partial-overlap set has
+        grown since they were computed; the invalidated entry's witness
+        points seed the new processor's accept screen.
     """
-    annotated = tree.leaves_by_containment()
-    if not annotated:
-        return None, []
+    # Harvest witness seeds from cache entries the tree reports as dirty.
+    dirty = tree.consume_dirty_leaves()
+    seeds: Dict[int, List[np.ndarray]] = {}
+    if cache is not None and dirty:
+        for key in dirty:
+            entry = cache.pop(key, None)
+            if entry is not None:
+                seeds[key] = entry.witness_points()
 
-    states: dict = {}
-
-    def state_for(index: int) -> _LeafScanState:
-        leaf, _ = annotated[index]
+    def state_for(leaf: QuadTreeNode) -> _LeafScanState:
+        key = id(leaf)
         if cache is not None:
-            entry = cache.get(id(leaf))
+            entry = cache.get(key)
             if entry is not None and entry.partial_len == len(leaf.partial):
                 return entry
         partial_pairs = [(hid, tree.halfspace(hid)) for hid in leaf.partial]
@@ -124,58 +153,68 @@ def collect_cells(
             partial_pairs,
             use_pairwise=use_pairwise,
             counters=counters,
+            seed_probes=seeds.get(key),
         )
         state = _LeafScanState(processor, len(leaf.partial))
         if cache is not None:
-            cache[id(leaf)] = state
+            cache[key] = state
         return state
-
-    # Heap of (order lower bound, leaf index, weight); leaves enter at weight 0.
-    heap: List[Tuple[int, int, int]] = [
-        (full_count, index, 0) for index, (_, full_count) in enumerate(annotated)
-    ]
-    heapq.heapify(heap)
 
     best: Optional[int] = None
     collected: List[CellRecord] = []
-    touched: set = set()
+    touched = 0
+    entered: set = set()
+    #: weight continuations: priority -> [(leaf, state, weight)]
+    deferred: Dict[int, List[Tuple[QuadTreeNode, _LeafScanState, int]]] = {}
 
-    while heap:
-        priority, index, weight = heapq.heappop(heap)
+    priority = 0
+    while True:
         if best is not None and priority > best + tau:
             break
-        leaf, full_count = annotated[index]
-        state = states.get(index)
-        if state is None:
-            state = state_for(index)
-            states[index] = state
-            touched.add(index)
-        if weight > state.partial_len:
-            continue
-        cells = state.cells_at(weight)
-        if cells and (best is None or priority < best):
-            best = priority
-        if cells:
-            frozen_full = frozenset(leaf.full_ids())
-            for cell in cells:
-                collected.append(
-                    CellRecord(
-                        leaf=leaf,
-                        cell=cell,
-                        order=priority,
-                        containing_ids=frozen_full | frozenset(cell.inside_ids),
-                        full_ids=frozen_full,
+        if (
+            best is None
+            and priority > tree.max_bucket_priority()
+            and not deferred
+        ):
+            break
+        work: List[Tuple[QuadTreeNode, Optional[_LeafScanState], int]] = []
+        for leaf in tree.validated_bucket(priority):
+            if id(leaf) not in entered:
+                entered.add(id(leaf))
+                work.append((leaf, None, 0))
+        work.extend(deferred.pop(priority, ()))
+        for leaf, state, weight in work:
+            if state is None:
+                state = state_for(leaf)
+                touched += 1
+            if weight > state.partial_len:
+                continue
+            cells = state.cells_at(weight)
+            if cells:
+                if best is None:
+                    best = priority
+                frozen_full = frozenset(leaf.full_ids())
+                for cell in cells:
+                    collected.append(
+                        CellRecord(
+                            leaf=leaf,
+                            cell=cell,
+                            order=priority,
+                            containing_ids=frozen_full | frozenset(cell.inside_ids),
+                            full_ids=frozen_full,
+                        )
                     )
-                )
-        if weight < state.partial_len:
-            heapq.heappush(heap, (priority + 1, index, weight + 1))
+            if weight < state.partial_len:
+                deferred.setdefault(priority + 1, []).append((leaf, state, weight + 1))
+        priority += 1
 
     if counters is not None:
-        counters.leaves_processed += len(touched)
-        counters.leaves_pruned += len(annotated) - len(touched)
+        counters.leaves_processed += touched
+        counters.leaves_pruned += tree.live_leaf_count - touched
     if best is None:
         return None, []
     kept = [record for record in collected if record.order <= best + tau]
+    kept.sort(key=lambda record: (record.order, record.leaf.seq, record.cell.bits))
     return best, kept
 
 

@@ -28,6 +28,35 @@ from ..errors import (
 __all__ = ["Dataset", "validate_query_vector", "random_permissible_vector"]
 
 
+class _RecordMatrix(np.ndarray):
+    """Records array with a *row-consistent* matrix–vector product.
+
+    BLAS evaluates an ``(n, d) @ (d,)`` product with blocked, FMA-vectorised
+    kernels whose per-row rounding depends on the whole matrix, so
+    ``(records @ q)[i]`` can differ from ``records[i] @ q`` by one ulp.  That
+    discrepancy is fatal for rank computations: a focal record drawn from the
+    dataset may then appear to strictly outscore itself, shifting its order by
+    one.  This subclass redefines the matrix–vector product as one dot product
+    per row — bit-identical to scoring the row on its own — so exact score
+    ties (in particular self-ties) stay exact under the strict comparisons
+    used throughout the library.  All other operations behave like a plain
+    ``ndarray``.
+
+    The per-row loop trades raw matrix–vector throughput for that exactness,
+    so it is reserved for the *scoring* surface (``Dataset.scores``,
+    ``order_of``, top-k), where calls are per-query and ``n`` is the only
+    large factor.  The geometry hot paths (quad-tree, screens, LPs) operate
+    on plain coefficient arrays and never pass through this class.
+    """
+
+    def __matmul__(self, other):
+        other_arr = np.asarray(other)
+        if self.ndim == 2 and other_arr.ndim == 1:
+            base = np.asarray(self)
+            return np.array([row @ other_arr for row in base])
+        return super().__matmul__(other)
+
+
 def _as_record_array(records: Iterable[Sequence[float]] | np.ndarray) -> np.ndarray:
     array = np.asarray(records, dtype=float)
     if array.ndim == 1:
@@ -67,7 +96,7 @@ class Dataset:
         attribute_names: Optional[Sequence[str]] = None,
         name: str = "dataset",
     ) -> None:
-        array = _as_record_array(records)
+        array = _as_record_array(records).view(_RecordMatrix)
         array.setflags(write=False)
         object.__setattr__(self, "records", array)
         if attribute_names is not None:

@@ -10,7 +10,14 @@ from .figures import (
     run_table4_real_datasets,
 )
 from .harness import BatchResult, QueryMeasurement, run_batch, select_focal_records
-from .reporting import format_series, format_table, print_series, print_table
+from .reporting import (
+    format_screen_funnel,
+    format_series,
+    format_table,
+    print_series,
+    print_table,
+    screen_funnel,
+)
 from .workloads import CONFIGS, ExperimentConfig, Scale, get_config
 
 __all__ = [
@@ -22,6 +29,8 @@ __all__ = [
     "format_series",
     "print_table",
     "print_series",
+    "screen_funnel",
+    "format_screen_funnel",
     "CONFIGS",
     "ExperimentConfig",
     "Scale",

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "print_table", "print_series"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "print_table",
+    "print_series",
+    "screen_funnel",
+    "format_screen_funnel",
+]
 
 
 def format_table(
@@ -76,6 +83,48 @@ def format_series(
             row[name] = values[index] if index < len(values) else ""
         rows.append(row)
     return format_table(rows, [x_label, *series.keys()], title=title, float_format=float_format)
+
+
+def screen_funnel(counters: Mapping[str, float]) -> Dict[str, float]:
+    """Summarise the within-leaf screen→LP funnel from a counter dump.
+
+    Takes the dictionary produced by
+    :meth:`repro.stats.CostCounters.as_dict` (or an aggregation of several)
+    and derives the headline efficiency numbers of the batched feasibility
+    engine:
+
+    ``candidates``
+        Total candidate bit-strings considered (``cells_examined`` plus the
+        candidates dismissed by the pairwise constraints).
+    ``screen_resolved``
+        Candidates resolved without any LP: pairwise-pruned, accept-screen
+        certified (a probe point proved the cell non-empty) or reject-screen
+        dismissed (some constraint row is unsatisfiable in the leaf).
+    ``screen_resolved_ratio``
+        ``screen_resolved / candidates`` — the share of the feasibility
+        workload the screens absorbed.  The remainder went to the exact
+        Seidel LP (``lp_calls``).
+    """
+    pruned = float(counters.get("pairwise_pruned", 0))
+    accepts = float(counters.get("screen_accepts", 0))
+    rejects = float(counters.get("screen_rejects", 0))
+    examined = float(counters.get("cells_examined", 0))
+    candidates = examined + pruned
+    resolved = pruned + accepts + rejects
+    return {
+        "candidates": candidates,
+        "pairwise_pruned": pruned,
+        "screen_accepts": accepts,
+        "screen_rejects": rejects,
+        "lp_calls": float(counters.get("lp_calls", 0)),
+        "screen_resolved": resolved,
+        "screen_resolved_ratio": resolved / candidates if candidates else 0.0,
+    }
+
+
+def format_screen_funnel(counters: Mapping[str, float], *, title: Optional[str] = None) -> str:
+    """Render :func:`screen_funnel` as a one-row aligned table."""
+    return format_table([screen_funnel(counters)], title=title)
 
 
 def print_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,

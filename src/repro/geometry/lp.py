@@ -37,13 +37,23 @@ __all__ = [
     "FeasibilityResult",
     "find_interior_point",
     "find_interior_point_arrays",
+    "screen_cells_batch",
+    "box_row_extremes",
     "MIN_INTERIOR_RADIUS",
+    "ACCEPT_MARGIN_FACTOR",
 ]
 
 #: A cell narrower than this inscribed radius is treated as empty.  The paper
 #: ignores score ties; degenerate slivers of (near) zero measure correspond to
 #: tie hyperplanes and carry no query-space area.
 MIN_INTERIOR_RADIUS = 1e-9
+
+#: Safety factor of the accept screens: a candidate point only certifies a
+#: cell as non-empty when every (normalised) constraint margin exceeds
+#: ``ACCEPT_MARGIN_FACTOR * MIN_INTERIOR_RADIUS``.  Cells whose inscribed
+#: radius falls between the two thresholds go to the exact LP, so the screens
+#: never flip a feasibility decision relative to the per-cell solver.
+ACCEPT_MARGIN_FACTOR = 10.0
 
 
 @dataclass(frozen=True)
@@ -105,7 +115,7 @@ def find_interior_point_arrays(
     # Quick accept: the box centre is already comfortably inside everything.
     margins = (A @ centre - b) / norms
     radius = float(min(margins.min(), box_radius))
-    if radius > 10.0 * min_radius:
+    if radius > ACCEPT_MARGIN_FACTOR * min_radius:
         return FeasibilityResult(True, centre, radius)
 
     if counters is not None:
@@ -182,6 +192,134 @@ def _solve_with_scipy(
     if radius <= min_radius:
         return _INFEASIBLE
     return FeasibilityResult(True, np.asarray(result.x[:dim], dtype=float), radius)
+
+
+def box_row_extremes(
+    A: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row ``(min, max)`` of ``A @ x`` over the box ``[lower, upper]``.
+
+    The extremes of a linear function over an axis-aligned box decompose into
+    the positive and the negative coefficient parts, so all rows are handled
+    with two matrix–vector products.
+    """
+    Apos = np.where(A > 0, A, 0.0)
+    Aneg = A - Apos
+    row_min = Apos @ lower + Aneg @ upper
+    row_max = Apos @ upper + Aneg @ lower
+    return row_min, row_max
+
+
+def screen_cells_batch(
+    A: np.ndarray,
+    b: np.ndarray,
+    signs: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    *,
+    base_A: Optional[np.ndarray] = None,
+    base_b: Optional[np.ndarray] = None,
+    probes: Optional[np.ndarray] = None,
+    probe_margins: Optional[np.ndarray] = None,
+    probe_valid: Optional[np.ndarray] = None,
+    min_radius: float = MIN_INTERIOR_RADIUS,
+    counters=None,
+) -> Tuple[np.ndarray, list]:
+    """Resolve a batch of arrangement cells without per-cell LPs.
+
+    Every candidate cell of one ``(leaf, weight)`` batch shares the same row
+    set ``A x ≷ b`` and differs only in the orientation of each row, encoded
+    by ``signs`` — a ``(C, m)`` matrix of ``±1`` where row ``c`` describes
+    the cell ``{x : signs[c, i] · (A_i · x − b_i) > 0 ∀ i}`` intersected with
+    the box ``[lower, upper]`` and the fixed-orientation ``base`` rows.
+
+    Two vectorised screens are applied:
+
+    * **reject** — a cell is empty whenever a single row cannot be satisfied
+      anywhere in the box; the per-row corner extremes are computed once and
+      compared against all orientations at once.  This is exactly the
+      quick-reject of :func:`find_interior_point_arrays`, applied batch-wise.
+    * **accept** — a panel of probe points (leaf centre, perturbed corners,
+      previously found witness points) is evaluated against all rows in one
+      matrix product; a probe whose normalised margins all clear the safety
+      threshold certifies the unique cell whose bit-string matches the
+      probe's sign pattern.  Matching is done on packed bit patterns, so the
+      cost is ``O((C + p) · m / 8)`` rather than ``O(C · p · m)``.
+
+    Cells resolved by neither screen must go to the exact per-cell solver
+    (:func:`find_interior_point_arrays`); because the accept threshold is
+    ``ACCEPT_MARGIN_FACTOR`` times the LP's feasibility radius, the screens
+    agree with the solver on every cell they resolve.
+
+    Returns
+    -------
+    (status, witnesses)
+        ``status`` is an ``int8`` array over cells: ``1`` accepted (non-empty,
+        witness available), ``-1`` rejected (empty), ``0`` unresolved.
+        ``witnesses`` is a list with a witness point for every accepted cell
+        and ``None`` elsewhere.
+    """
+    n_cells = signs.shape[0]
+    status = np.zeros(n_cells, dtype=np.int8)
+    witnesses: list = [None] * n_cells
+    if n_cells == 0:
+        return status, witnesses
+    extent = upper - lower
+    if np.any(extent <= 0):
+        status[:] = -1
+        if counters is not None:
+            counters.screen_rejects += n_cells
+        return status, witnesses
+
+    # ---- reject screen: some row unsatisfiable anywhere in the box --------
+    if base_A is not None and base_A.shape[0]:
+        base_norms = np.sqrt(np.einsum("ij,ij->i", base_A, base_A))
+        base_norms = np.where(base_norms > 0, base_norms, 1.0)
+        _, base_max = box_row_extremes(base_A, lower, upper)
+        if np.any(base_max <= base_b + min_radius * base_norms):
+            status[:] = -1
+            if counters is not None:
+                counters.screen_rejects += n_cells
+            return status, witnesses
+
+    m = A.shape[0]
+    if m:
+        norms = np.sqrt(np.einsum("ij,ij->i", A, A))
+        norms = np.where(norms > 0, norms, 1.0)
+        row_min, row_max = box_row_extremes(A, lower, upper)
+        # max of signs[c,i]·(A_i·x) over the box is row_max or -row_min.
+        oriented_max = np.where(signs > 0, row_max[None, :], -row_min[None, :])
+        rejected = np.any(
+            oriented_max <= signs * b[None, :] + min_radius * norms[None, :], axis=1
+        )
+        status[rejected] = -1
+
+        # ---- accept screen: probe sign patterns certify matching cells ----
+        if probe_margins is not None and probe_margins.shape[1]:
+            threshold = ACCEPT_MARGIN_FACTOR * min_radius
+            usable = probe_valid & (np.abs(probe_margins) > threshold).all(axis=0)
+            if np.any(usable):
+                usable_idx = np.nonzero(usable)[0]
+                probe_bits = probe_margins[:, usable_idx] > 0  # (m, p_usable)
+                packed_probe = np.packbits(probe_bits.T, axis=1)
+                pattern_to_probe = {}
+                for position, j in enumerate(usable_idx):
+                    key = packed_probe[position].tobytes()
+                    if key not in pattern_to_probe:
+                        pattern_to_probe[key] = int(j)
+                cell_bits = signs > 0
+                packed_cells = np.packbits(cell_bits, axis=1)
+                for c in range(n_cells):
+                    if status[c]:
+                        continue
+                    probe_index = pattern_to_probe.get(packed_cells[c].tobytes())
+                    if probe_index is not None:
+                        status[c] = 1
+                        witnesses[c] = probes[probe_index]
+    if counters is not None:
+        counters.screen_rejects += int(np.count_nonzero(status == -1))
+        counters.screen_accepts += int(np.count_nonzero(status == 1))
+    return status, witnesses
 
 
 def find_interior_point(

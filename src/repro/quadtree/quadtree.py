@@ -17,11 +17,29 @@ Two sets are derived per leaf ``l``:
 
 Nodes that lie entirely outside the permissible simplex
 (``Σ q_i < 1``) are discarded, as prescribed by the paper.
+
+Performance notes
+-----------------
+The tree is the dominant cost of a MaxRank query at ``d ≥ 4`` (hundreds of
+thousands of nodes for a few hundred half-spaces), so the hot paths are
+array-level:
+
+* splitting a leaf classifies **all** pending half-spaces against **all**
+  children with two matrix products (the corner extremes of a linear
+  function over a box decompose into a positive-part and a negative-part
+  product);
+* inserting a half-space classifies it against all children of a node at
+  once instead of one scalar test per child;
+* the tree maintains an incremental *scan index* — leaves bucketed by their
+  last-known ``|F_l|``, re-validated lazily when popped — so the per-query
+  (and, for AA, per-iteration) best-first leaf scan touches only the leaves
+  that are actually competitive instead of traversing and sorting the whole
+  tree.  See :func:`repro.core.cells.collect_cells`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -36,6 +54,10 @@ DEFAULT_SPLIT_THRESHOLD = 10
 #: Hard depth cap: at this depth leaves absorb overflow instead of splitting.
 DEFAULT_MAX_DEPTH = 8
 
+#: Tolerance of the containment / disjointness classification (matches
+#: :data:`repro.geometry.halfspace.EPSILON`).
+_CLASSIFY_TOL = 1e-9
+
 
 class QuadTreeNode:
     """One node of the augmented quad-tree."""
@@ -43,13 +65,14 @@ class QuadTreeNode:
     __slots__ = (
         "lower",
         "upper",
-        "lower_t",
-        "upper_t",
         "depth",
         "parent",
         "children",
+        "children_lower",
+        "children_upper",
         "containment",
         "partial",
+        "seq",
     )
 
     def __init__(
@@ -58,18 +81,23 @@ class QuadTreeNode:
         upper: np.ndarray,
         depth: int,
         parent: Optional["QuadTreeNode"],
+        seq: int = 0,
     ) -> None:
         self.lower = lower                      #: lower corner of the node's box
         self.upper = upper                      #: upper corner of the node's box
-        self.lower_t = tuple(float(v) for v in lower)   #: tuple copy for scalar hot paths
-        self.upper_t = tuple(float(v) for v in upper)
         self.depth = depth                      #: root has depth 0
         self.parent = parent
         self.children: Optional[List["QuadTreeNode"]] = None
+        #: stacked children bounds, kept from the split so insertion can
+        #: classify a half-space against every child with two products
+        self.children_lower: Optional[np.ndarray] = None
+        self.children_upper: Optional[np.ndarray] = None
         #: ids of half-spaces fully containing this node but not its parent
         self.containment: List[int] = []
         #: ids of half-spaces partially overlapping this node (leaves only)
         self.partial: List[int] = []
+        #: creation sequence number (deterministic tie-break in scans)
+        self.seq = seq
 
     @property
     def is_leaf(self) -> bool:
@@ -164,9 +192,31 @@ class AugmentedQuadTree:
         self.split_threshold = int(split_threshold)
         self.max_depth = int(max_depth)
         self.counters = counters
-        self.root = QuadTreeNode(np.zeros(dim), np.ones(dim), depth=0, parent=None)
+        self._node_seq = 0
+        self.root = QuadTreeNode(np.zeros(dim), np.ones(dim), depth=0, parent=None, seq=0)
+        self._node_seq = 1
         self.halfspaces: Dict[int, Halfspace] = {}
         self._next_id = 0
+        #: Corner selection masks used to derive the 2^dim children of a box.
+        corners = np.arange(2 ** self.dim)
+        self._corner_masks = (
+            (corners[:, None] >> np.arange(self.dim)[None, :]) & 1
+        ).astype(bool)
+        # Growing coefficient matrix over all inserted half-spaces; rebuilt
+        # lazily so splits can slice the rows of their pending ids at once.
+        self._coef_rows: List[np.ndarray] = []
+        self._offsets: List[float] = []
+        self._matrix: Optional[np.ndarray] = None
+        self._offset_vec: Optional[np.ndarray] = None
+        # ---- incremental scan index ----
+        #: live leaves bucketed by last-known |F_l| (lazily re-validated)
+        self._buckets: List[List[QuadTreeNode]] = [[self.root]]
+        self._live_leaves = 1
+        #: ids of leaves whose partial set changed since the last consume;
+        #: tracking only starts at the first consume — before that, every
+        #: consumer cache is empty anyway, so recording churn would be waste
+        self._dirty_leaves: Set[int] = set()
+        self._track_dirty = False
 
     # ------------------------------------------------------------ bookkeeping
     def halfspace(self, halfspace_id: int) -> Halfspace:
@@ -176,36 +226,89 @@ class AugmentedQuadTree:
     def __len__(self) -> int:
         return len(self.halfspaces)
 
+    @property
+    def live_leaf_count(self) -> int:
+        """Number of leaves currently in the tree (inside the simplex)."""
+        return self._live_leaves
+
+    def consume_dirty_leaves(self) -> Set[int]:
+        """Return ids of leaves whose partial set changed since the last call.
+
+        The ids are ``id(node)`` keys, matching the keys used by the
+        cell-collection cache of :func:`repro.core.cells.collect_cells`; the
+        internal set is cleared, so each change is reported exactly once.
+        Tracking begins with the first call — changes made before any
+        consumer existed are irrelevant, since no cache predates them.
+        """
+        dirty = self._dirty_leaves
+        self._dirty_leaves = set()
+        self._track_dirty = True
+        return dirty
+
+    def _coef_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(A, b)`` over every inserted half-space (lazily rebuilt)."""
+        if self._matrix is None:
+            self._matrix = np.vstack(self._coef_rows)
+            self._offset_vec = np.asarray(self._offsets, dtype=float)
+        return self._matrix, self._offset_vec
+
     @staticmethod
     def _outside_simplex(node: "QuadTreeNode") -> bool:
         """True when the node's box lies entirely outside ``Σ q_i < 1``."""
-        return sum(node.lower_t) >= 1.0
+        return float(node.lower.sum()) >= 1.0
 
     @staticmethod
-    def _classify(halfspace: Halfspace, node: "QuadTreeNode", tol: float = 1e-9) -> BoxRelation:
-        """Cheap scalar version of :meth:`Halfspace.relation_to_box`.
-
-        Insertion and splitting classify the same half-space against very many
-        small boxes; plain float arithmetic avoids the per-call overhead of the
-        numpy implementation while computing exactly the same corner extremes.
-        """
-        min_val = 0.0
-        max_val = 0.0
-        lower = node.lower_t
-        upper = node.upper_t
-        for coefficient, lo, hi in zip(halfspace.coefficients_t, lower, upper):
-            if coefficient > 0.0:
-                min_val += coefficient * lo
-                max_val += coefficient * hi
-            else:
-                min_val += coefficient * hi
-                max_val += coefficient * lo
+    def _classify(halfspace: Halfspace, node: "QuadTreeNode", tol: float = _CLASSIFY_TOL) -> BoxRelation:
+        """Classify one half-space against one node box (corner extremes)."""
+        a = halfspace.coefficients
+        pos = a > 0
+        min_val = float(np.where(pos, a * node.lower, a * node.upper).sum())
+        max_val = float(np.where(pos, a * node.upper, a * node.lower).sum())
         offset = halfspace.offset
         if min_val > offset + tol:
             return BoxRelation.CONTAINS
         if max_val <= offset + tol:
             return BoxRelation.DISJOINT
         return BoxRelation.OVERLAPS
+
+    # ----------------------------------------------------- scan-index plumbing
+    def _file_leaf(self, leaf: QuadTreeNode, priority: int) -> None:
+        """Register a live leaf in the priority bucket ``priority``."""
+        buckets = self._buckets
+        while len(buckets) <= priority:
+            buckets.append([])
+        buckets[priority].append(leaf)
+
+    def max_bucket_priority(self) -> int:
+        """Largest priority that currently has a (possibly stale) bucket entry."""
+        return len(self._buckets) - 1
+
+    def validated_bucket(self, priority: int) -> List[QuadTreeNode]:
+        """Leaves whose current ``|F_l|`` equals ``priority``, lazily compacted.
+
+        Entries are re-validated on access: nodes that were split are
+        dropped, leaves whose ``|F_l|`` has grown (an ancestor gained a
+        containment entry) are re-filed under their current priority — they
+        will be seen again when the scan reaches it.  ``|F_l|`` never
+        shrinks, so a leaf is never filed below a priority that was already
+        handed out.
+        """
+        if priority >= len(self._buckets):
+            return []
+        entries = self._buckets[priority]
+        if not entries:
+            return []
+        valid: List[QuadTreeNode] = []
+        for node in entries:
+            if node.children is not None:
+                continue
+            current = node.full_count()
+            if current == priority:
+                valid.append(node)
+            else:
+                self._file_leaf(node, current)
+        self._buckets[priority] = valid
+        return valid
 
     # --------------------------------------------------------------- insertion
     def insert(self, halfspace: Halfspace) -> int:
@@ -217,10 +320,93 @@ class AugmentedQuadTree:
         halfspace_id = self._next_id
         self._next_id += 1
         self.halfspaces[halfspace_id] = halfspace
+        self._coef_rows.append(np.asarray(halfspace.coefficients, dtype=float))
+        self._offsets.append(float(halfspace.offset))
+        self._matrix = None
         if self.counters is not None:
             self.counters.halfspaces_inserted += 1
         self._insert_into(self.root, halfspace_id, halfspace)
         return halfspace_id
+
+    def insert_bulk(self, halfspaces: Sequence[Halfspace]) -> List[int]:
+        """Insert several half-spaces with a single tree descent.
+
+        Classifying a *batch* of half-spaces against every node's children
+        amortises the per-node Python overhead over the whole batch (the
+        corner-extreme classification is two matrix products either way).
+        The resulting tree is identical to inserting the half-spaces one by
+        one: a node's partial/containment sets depend only on box geometry,
+        and a leaf splits exactly when its final partial set exceeds the
+        threshold — neither depends on arrival order.
+        """
+        halfspaces = list(halfspaces)
+        for halfspace in halfspaces:
+            if halfspace.dim != self.dim:
+                raise GeometryError(
+                    f"half-space dimension {halfspace.dim} does not match "
+                    f"tree dimension {self.dim}"
+                )
+        ids: List[int] = []
+        for halfspace in halfspaces:
+            halfspace_id = self._next_id
+            self._next_id += 1
+            self.halfspaces[halfspace_id] = halfspace
+            self._coef_rows.append(np.asarray(halfspace.coefficients, dtype=float))
+            self._offsets.append(float(halfspace.offset))
+            ids.append(halfspace_id)
+        if not ids:
+            return ids
+        self._matrix = None
+        if self.counters is not None:
+            self.counters.halfspaces_inserted += len(ids)
+        A, b = self._coef_arrays()
+        id_arr = np.asarray(ids, dtype=np.intp)
+        A_new = A[id_arr]
+        b_new = b[id_arr] + _CLASSIFY_TOL
+        Apos = np.where(A_new > 0, A_new, 0.0)
+        Aneg = A_new - Apos
+
+        root = self.root
+        root_min = Apos @ root.lower + Aneg @ root.upper
+        root_max = Apos @ root.upper + Aneg @ root.lower
+        contains = root_min > b_new
+        disjoint = root_max <= b_new
+        root.containment.extend(id_arr[contains].tolist())
+        overlap_idx = np.nonzero(~(contains | disjoint))[0]
+        if overlap_idx.size == 0:
+            return ids
+        stack: List[Tuple[QuadTreeNode, np.ndarray]] = [(root, overlap_idx)]
+        while stack:
+            current, rows = stack.pop()
+            if current.children is None:
+                current.partial.extend(id_arr[rows].tolist())
+                if self._track_dirty:
+                    self._dirty_leaves.add(id(current))
+                if (
+                    len(current.partial) > self.split_threshold
+                    and current.depth < self.max_depth
+                ):
+                    self._split(current)
+                continue
+            children = current.children
+            if not children:
+                continue
+            cl = current.children_lower
+            cu = current.children_upper
+            Rp = Apos[rows]
+            Rn = Aneg[rows]
+            min_vals = Rp @ cl.T + Rn @ cu.T
+            max_vals = Rp @ cu.T + Rn @ cl.T
+            b_rows = b_new[rows][:, None]
+            contains = min_vals > b_rows
+            disjoint = max_vals <= b_rows
+            overlaps = ~(contains | disjoint)
+            for j, child in enumerate(children):
+                child.containment.extend(id_arr[rows[contains[:, j]]].tolist())
+                sub = rows[overlaps[:, j]]
+                if sub.size:
+                    stack.append((child, sub))
+        return ids
 
     def replace(self, halfspace_id: int, halfspace: Halfspace) -> None:
         """Replace the half-space object stored under ``halfspace_id``.
@@ -237,71 +423,111 @@ class AugmentedQuadTree:
         self.halfspaces[halfspace_id] = halfspace
 
     def _insert_into(self, node: QuadTreeNode, halfspace_id: int, halfspace: Halfspace) -> None:
+        a = np.asarray(halfspace.coefficients, dtype=float)
+        apos = np.where(a > 0, a, 0.0)
+        aneg = a - apos
+        offset = halfspace.offset + _CLASSIFY_TOL
+
+        relation = self._classify(halfspace, node)
+        if relation is BoxRelation.DISJOINT:
+            return
+        if relation is BoxRelation.CONTAINS:
+            node.containment.append(halfspace_id)
+            return
         stack = [node]
         while stack:
             current = stack.pop()
-            if self._outside_simplex(current):
-                continue
-            relation = self._classify(halfspace, current)
-            if relation is BoxRelation.DISJOINT:
-                continue
-            if relation is BoxRelation.CONTAINS:
-                current.containment.append(halfspace_id)
-                continue
-            if current.is_leaf:
+            if current.children is None:
                 current.partial.append(halfspace_id)
+                if self._track_dirty:
+                    self._dirty_leaves.add(id(current))
                 if (
                     len(current.partial) > self.split_threshold
                     and current.depth < self.max_depth
                 ):
                     self._split(current)
                 continue
-            stack.extend(current.children)
+            # Classify against every child at once: the extremes of a · x over
+            # each child box decompose into positive/negative coefficient parts.
+            children = current.children
+            if not children:
+                continue
+            lowers = current.children_lower
+            uppers = current.children_upper
+            min_vals = lowers @ apos + uppers @ aneg
+            max_vals = uppers @ apos + lowers @ aneg
+            for child, mn, mx in zip(children, min_vals, max_vals):
+                if mx <= offset:
+                    continue
+                if mn > offset:
+                    child.containment.append(halfspace_id)
+                else:
+                    stack.append(child)
 
     def _split(self, node: QuadTreeNode) -> None:
         """Split a leaf into ``2^dim`` children and redistribute its partial set."""
+        masks = self._corner_masks
         pending_split = [node]
         while pending_split:
             current = pending_split.pop()
-            centre = current.centre()
+            centre = (current.lower + current.upper) / 2.0
+            child_lowers = np.where(masks, centre, current.lower)
+            child_uppers = np.where(masks, current.upper, centre)
+            inside = child_lowers.sum(axis=1) < 1.0
+            parent_priority = current.full_count()
             children: List[QuadTreeNode] = []
-            for corner in range(2 ** self.dim):
-                lower = current.lower.copy()
-                upper = current.upper.copy()
-                for axis in range(self.dim):
-                    if corner >> axis & 1:
-                        lower[axis] = centre[axis]
-                    else:
-                        upper[axis] = centre[axis]
-                child = QuadTreeNode(lower, upper, depth=current.depth + 1, parent=current)
-                if self._outside_simplex(child):
-                    continue
+            seq = self._node_seq
+            depth = current.depth + 1
+            inside_idx = np.nonzero(inside)[0]
+            child_lowers = child_lowers[inside_idx]
+            child_uppers = child_uppers[inside_idx]
+            for j in range(inside_idx.shape[0]):
+                child = QuadTreeNode(child_lowers[j], child_uppers[j], depth, current, seq)
+                seq += 1
                 children.append(child)
-            pending = list(current.partial)
+            self._node_seq = seq
+            pending = current.partial
             current.partial = []
             current.children = children
-            if not pending or not children:
+            current.children_lower = child_lowers
+            current.children_upper = child_uppers
+            self._live_leaves += len(children) - 1
+            if self._track_dirty:
+                # Report the split leaf as dirty so scan caches evict its
+                # (now stale) within-leaf state; the node is internal from
+                # here on and will never re-enter a cache.
+                self._dirty_leaves.add(id(current))
+            if not children:
                 continue
-            # Vectorised redistribution: classify every pending half-space
-            # against every child box in a handful of array operations.
-            A = np.vstack([self.halfspaces[hid].coefficients for hid in pending])
-            b = np.array([self.halfspaces[hid].offset for hid in pending])
-            positive = A > 0
-            for child in children:
-                min_vals = np.where(positive, A * child.lower, A * child.upper).sum(axis=1)
-                max_vals = np.where(positive, A * child.upper, A * child.lower).sum(axis=1)
-                contains = min_vals > b + 1e-9
-                disjoint = max_vals <= b + 1e-9
-                overlaps = ~(contains | disjoint)
-                child.containment.extend(
-                    hid for hid, keep in zip(pending, contains) if keep
-                )
-                child.partial.extend(hid for hid, keep in zip(pending, overlaps) if keep)
+            if not pending:
+                for child in children:
+                    self._file_leaf(child, parent_priority)
+                continue
+            # Vectorised redistribution: corner extremes of every pending
+            # half-space over every child box via two matrix products each.
+            A, b = self._coef_arrays()
+            pending_arr = np.asarray(pending, dtype=np.intp)
+            A_pending = A[pending_arr]
+            b_pending = b[pending_arr] + _CLASSIFY_TOL
+            Apos = np.where(A_pending > 0, A_pending, 0.0)
+            Aneg = A_pending - Apos
+            min_vals = Apos @ child_lowers.T + Aneg @ child_uppers.T
+            max_vals = Apos @ child_uppers.T + Aneg @ child_lowers.T
+            contains = min_vals > b_pending[:, None]
+            disjoint = max_vals <= b_pending[:, None]
+            overlaps = ~(contains | disjoint)
+            for j, child in enumerate(children):
+                child.containment.extend(pending_arr[contains[:, j]].tolist())
+                child.partial.extend(pending_arr[overlaps[:, j]].tolist())
+                if child.partial and self._track_dirty:
+                    self._dirty_leaves.add(id(child))
                 if (
                     len(child.partial) > self.split_threshold
                     and child.depth < self.max_depth
                 ):
                     pending_split.append(child)
+                else:
+                    self._file_leaf(child, parent_priority + len(child.containment))
 
     # ----------------------------------------------------------------- queries
     def leaves(self) -> Iterator[QuadTreeNode]:
@@ -309,8 +535,6 @@ class AugmentedQuadTree:
         stack = [self.root]
         while stack:
             node = stack.pop()
-            if self._outside_simplex(node):
-                continue
             if node.is_leaf:
                 yield node
             else:
@@ -323,19 +547,19 @@ class AugmentedQuadTree:
     def leaves_by_containment(self) -> List[Tuple[QuadTreeNode, int]]:
         """Return ``(leaf, |F_l|)`` pairs sorted by increasing ``|F_l|``.
 
-        This is the processing order of BA and of every AA iteration: a leaf
-        whose full-containment cardinality already exceeds the best cell
-        order found so far can be pruned without within-leaf processing.  The
-        full id *sets* are only materialised (via ``leaf.full_ids()``) for
-        the leaves the caller actually processes; carrying bare counts keeps
-        the per-scan bookkeeping linear and cheap even for very deep trees.
+        Reference implementation of the BA/AA processing order: a leaf whose
+        full-containment cardinality already exceeds the best cell order
+        found so far can be pruned without within-leaf processing.  The
+        best-first scan of :func:`repro.core.cells.collect_cells` uses the
+        incremental bucket index (:meth:`validated_bucket`) instead, which
+        avoids materialising and sorting this list on every AA iteration;
+        this method remains as the exact, traversal-based view used by tests
+        and one-off statistics.
         """
         annotated: List[Tuple[QuadTreeNode, int]] = []
         stack: List[Tuple[QuadTreeNode, int]] = [(self.root, 0)]
         while stack:
             node, inherited = stack.pop()
-            if self._outside_simplex(node):
-                continue
             total = inherited + len(node.containment)
             if node.is_leaf:
                 annotated.append((node, total))

@@ -14,12 +14,26 @@ constraints).  The first weight at which a non-empty cell appears is the
 minimum p-order of the leaf; all non-empty cells of that weight (plus up to
 ``extra`` additional weights, for iMaxRank) are reported.
 
-Two optimisations from the paper are implemented:
+Feasibility is resolved through a batched screen→LP funnel
+(:func:`repro.geometry.lp.screen_cells_batch`): all candidate bit-strings of
+one weight are generated as a sign matrix, a vectorised reject screen kills
+rows unsatisfiable anywhere in the leaf, a panel of probe points (leaf
+centre, perturbed corners, witness points found earlier — including those
+inherited from a previous processor of the same leaf via ``seed_probes``)
+certifies non-empty cells by sign-pattern matching, and only the cells
+resolved by neither screen fall through to a per-cell Seidel LP.  The
+screens use a safety margin above the LP's feasibility radius, so the
+decisions are identical to running the LP on every cell.
+
+Two optimisations from the paper are implemented on top:
 
 * **pairwise binary constraints** — pairs of half-spaces that are disjoint,
   nested or jointly covering within the leaf forbid certain bit
   combinations; violating bit-strings are dismissed without a feasibility
-  test;
+  test.  The pair analysis is LP-free: each two-constraint feasibility over
+  the leaf box is solved in closed form by a vectorised fractional-knapsack
+  maximisation, for all pairs and orientations at once (instead of the
+  former four LPs per pair);
 * an exact **polygon-clipping fast path** for the 2-dimensional reduced
   query space (data dimensionality 3), which avoids the LP entirely.
 """
@@ -27,17 +41,26 @@ Two optimisations from the paper are implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
+from itertools import chain, combinations, islice
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..geometry.clipping import MIN_AREA, box_polygon, clip_polygon, polygon_area, polygon_centroid
 from ..geometry.halfspace import Halfspace, reduced_space_constraints
-from ..geometry.lp import find_interior_point, find_interior_point_arrays
+from ..geometry.lp import (
+    ACCEPT_MARGIN_FACTOR,
+    MIN_INTERIOR_RADIUS,
+    find_interior_point_arrays,
+    screen_cells_batch,
+)
 from ..stats import CostCounters
 
 __all__ = ["LeafCell", "WithinLeafProcessor", "PairwiseConstraints"]
+
+#: Cap on the number of probe points a processor keeps (centre + corners +
+#: inherited seeds + accumulated LP witnesses).
+_MAX_PROBES = 192
 
 
 @dataclass(frozen=True)
@@ -62,16 +85,71 @@ class LeafCell:
     interior_point: np.ndarray
 
 
+def _pair_combo_feasible(
+    u: np.ndarray,
+    c: np.ndarray,
+    v: np.ndarray,
+    d: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> np.ndarray:
+    """Vectorised exact feasibility of two linear constraints over a box.
+
+    For every row ``r`` decides whether ``{x ∈ [lower, upper] :
+    u_r · x ≥ c_r and v_r · x > d_r}`` is non-empty, by solving the LP
+    ``max v_r · x  s.t.  u_r · x ≥ c_r`` in closed form: start from the
+    ``v``-optimal box corner and, if it violates the ``u`` constraint, buy
+    back the deficit coordinate-by-coordinate in increasing order of the
+    exchange rate ``|v_k| / u-gain`` — the fractional-knapsack structure of a
+    single-constraint LP over a box.  All rows are processed at once with a
+    per-row ``argsort`` over the (at most 7) coordinates.
+    """
+    x_star = np.where(v > 0, upper, lower)
+    other = np.where(v > 0, lower, upper)
+    v_at = np.einsum("rk,rk->r", v, x_star)
+    u_at = np.einsum("rk,rk->r", u, x_star)
+    need = np.maximum(c - u_at, 0.0)
+    gain = np.maximum(u * (other - x_star), 0.0)
+    movable = gain > 0
+    loss = np.where(movable, np.abs(v) * (upper - lower), 0.0)
+    rate = np.where(movable, loss / np.where(movable, gain, 1.0), np.inf)
+    order = np.argsort(rate, axis=1)
+    gain_sorted = np.take_along_axis(gain, order, axis=1)
+    loss_sorted = np.take_along_axis(loss, order, axis=1)
+    cum_gain = np.cumsum(gain_sorted, axis=1)
+    total_gain = cum_gain[:, -1]
+    prev_cum = np.concatenate(
+        [np.zeros((gain.shape[0], 1)), cum_gain[:, :-1]], axis=1
+    )
+    fraction = np.clip(
+        (need[:, None] - prev_cum) / np.where(gain_sorted > 0, gain_sorted, 1.0),
+        0.0,
+        1.0,
+    )
+    fraction = np.where(gain_sorted > 0, fraction, 0.0)
+    best_v = v_at - (loss_sorted * fraction).sum(axis=1)
+    return (total_gain >= need) & (best_v > d)
+
+
 class PairwiseConstraints:
     """Forbidden bit combinations between pairs of partial half-spaces.
 
     For every pair ``(i, j)`` the four bit combinations are tested for
-    feasibility within the leaf; infeasible combinations become forbidden
+    feasibility within the leaf box; infeasible combinations become forbidden
     patterns consulted before any full feasibility test.  This subsumes the
     paper's three containment statuses (disjoint / nested / covering) and is
     also sound when the two supporting hyperplanes do intersect inside the
     leaf (in which case all four combinations are feasible and nothing is
     forbidden).
+
+    The analysis is LP-free: a two-constraint system over a box reduces to a
+    closed-form fractional-knapsack maximisation
+    (:func:`_pair_combo_feasible`), evaluated for all pairs and all four
+    orientations in a handful of array operations.  The test relaxes the
+    permissible-simplex cut (it considers the box alone), so it forbids a
+    subset of what an exact LP with the base constraints would — pruning
+    stays sound, it just occasionally lets a doomed candidate through to the
+    cell screens.
     """
 
     def __init__(self) -> None:
@@ -83,24 +161,47 @@ class PairwiseConstraints:
         halfspaces: Sequence[Tuple[int, Halfspace]],
         lower: np.ndarray,
         upper: np.ndarray,
-        base_constraints: Sequence[Halfspace],
+        base_constraints: Sequence[Halfspace] = (),
         *,
         counters: Optional[CostCounters] = None,
     ) -> "PairwiseConstraints":
         """Analyse every pair of partial half-spaces within the leaf box."""
         constraints = cls()
-        for (pos_i, (_, h_i)), (pos_j, (_, h_j)) in combinations(enumerate(halfspaces), 2):
-            forbidden: Set[Tuple[int, int]] = set()
-            for bit_i in (0, 1):
-                for bit_j in (0, 1):
-                    parts = list(base_constraints)
-                    parts.append(h_i if bit_i else h_i.complement())
-                    parts.append(h_j if bit_j else h_j.complement())
-                    result = find_interior_point(parts, lower, upper, counters=counters)
-                    if not result.feasible:
-                        forbidden.add((bit_i, bit_j))
+        m = len(halfspaces)
+        if m < 2:
+            return constraints
+        lower = np.asarray(lower, dtype=float).ravel()
+        upper = np.asarray(upper, dtype=float).ravel()
+        A = np.vstack([h.coefficients for _, h in halfspaces])
+        b = np.array([h.offset for _, h in halfspaces], dtype=float)
+        norms = np.sqrt(np.einsum("ij,ij->i", A, A))
+        norms = np.where(norms > 0, norms, 1.0)
+        #: right-hand sides including the inscribed-radius margin, per
+        #: orientation: sign s turns ``a · x > b`` into ``(s a) · x > s b``.
+        margin = MIN_INTERIOR_RADIUS * norms
+
+        pair_idx = np.array(list(combinations(range(m), 2)), dtype=np.intp)
+        i_idx, j_idx = pair_idx[:, 0], pair_idx[:, 1]
+        results = {}
+        for bit_i in (0, 1):
+            s_i = 1.0 if bit_i else -1.0
+            u = s_i * A[i_idx]
+            c = s_i * b[i_idx] + margin[i_idx]
+            for bit_j in (0, 1):
+                s_j = 1.0 if bit_j else -1.0
+                v = s_j * A[j_idx]
+                d = s_j * b[j_idx] + margin[j_idx]
+                results[(bit_i, bit_j)] = _pair_combo_feasible(
+                    u, c, v, d, lower, upper
+                )
+        for row, (pos_i, pos_j) in enumerate(pair_idx):
+            forbidden = {
+                combo
+                for combo, feasible in results.items()
+                if not feasible[row]
+            }
             if forbidden:
-                constraints._forbidden[(pos_i, pos_j)] = forbidden
+                constraints._forbidden[(int(pos_i), int(pos_j))] = forbidden
         return constraints
 
     def violates(self, bits: Sequence[int]) -> bool:
@@ -109,6 +210,16 @@ class PairwiseConstraints:
             if (bits[pos_i], bits[pos_j]) in forbidden:
                 return True
         return False
+
+    def violation_mask(self, bit_matrix: np.ndarray) -> np.ndarray:
+        """Boolean mask over the rows of ``bit_matrix`` violating some pair."""
+        mask = np.zeros(bit_matrix.shape[0], dtype=bool)
+        for (pos_i, pos_j), forbidden in self._forbidden.items():
+            col_i = bit_matrix[:, pos_i]
+            col_j = bit_matrix[:, pos_j]
+            for bit_i, bit_j in forbidden:
+                mask |= (col_i == bit_i) & (col_j == bit_j)
+        return mask
 
     def __len__(self) -> int:
         return len(self._forbidden)
@@ -130,7 +241,12 @@ class WithinLeafProcessor:
     pairwise_min_size:
         Minimum ``|P_l|`` at which the pairwise analysis is carried out.
     counters:
-        Optional cost counters (cells examined, LP calls).
+        Optional cost counters (cells examined, LP calls, screen hits).
+    seed_probes:
+        Witness points inherited from a previous processor of the same leaf
+        (AA re-scans after the partial set grew); they are added to the
+        accept-screen probe panel, so cells already discovered in an earlier
+        iteration are re-certified without any LP.
     """
 
     def __init__(
@@ -142,6 +258,7 @@ class WithinLeafProcessor:
         use_pairwise: bool = True,
         pairwise_min_size: int = 6,
         counters: Optional[CostCounters] = None,
+        seed_probes: Optional[Sequence[np.ndarray]] = None,
     ) -> None:
         self.lower = np.asarray(lower, dtype=float).ravel()
         self.upper = np.asarray(upper, dtype=float).ravel()
@@ -157,20 +274,94 @@ class WithinLeafProcessor:
         if self.partial:
             self._partial_A = np.vstack([h.coefficients for _, h in self.partial])
             self._partial_b = np.array([h.offset for _, h in self.partial], dtype=float)
+            norms = np.sqrt(np.einsum("ij,ij->i", self._partial_A, self._partial_A))
+            self._partial_norms = np.where(norms > 0, norms, 1.0)
         else:
             self._partial_A = np.zeros((0, self.dim))
             self._partial_b = np.zeros(0)
+            self._partial_norms = np.ones(0)
         if self.dim == 2:
             self._oriented = [
                 (halfspace, halfspace.complement()) for _, halfspace in self.partial
             ]
+        # Probe panel: leaf centre first (mirrors the solver's quick accept),
+        # then inward-shrunk corners, then inherited witness points.
+        self._probe_points: List[np.ndarray] = list(self._default_probes())
+        if seed_probes:
+            for point in seed_probes:
+                if len(self._probe_points) >= _MAX_PROBES:
+                    break
+                self._probe_points.append(np.asarray(point, dtype=float))
+        self._seed_count = len(self._probe_points)
+        self._probe_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._pairwise: Optional[PairwiseConstraints] = None
         if use_pairwise and len(self.partial) >= pairwise_min_size:
             self._pairwise = PairwiseConstraints.build(
-                self.partial, self.lower, self.upper, self._base, counters=counters
+                self.partial, self.lower, self.upper, self._base,
+                counters=counters,
             )
 
     # --------------------------------------------------------------- plumbing
+    def _default_probes(self) -> List[np.ndarray]:
+        """Deterministic spread of probe points inside the leaf box."""
+        centre = (self.lower + self.upper) / 2.0
+        points = [centre]
+        extent = self.upper - self.lower
+        if np.any(extent <= 0):
+            return points
+        # Two rings of corner probes: mildly shrunk ({1/4, 3/4} of the extent
+        # per axis, covering the bulk of each orthant) and near-corner
+        # ({1/20, 19/20}, capturing the extreme regions that certify pairwise
+        # orientation combinations).  Beyond 5 dimensions take a
+        # deterministic subset to bound the panel size.
+        corner_count = min(2 ** self.dim, 32)
+        axes = np.arange(self.dim)
+        for corner in range(corner_count):
+            bits = (corner >> axes) & 1
+            points.append(self.lower + np.where(bits, 0.75, 0.25) * extent)
+            points.append(self.lower + np.where(bits, 0.95, 0.05) * extent)
+        return points
+
+    def witness_probes(self) -> List[np.ndarray]:
+        """Witness points accumulated beyond the deterministic panel.
+
+        Used to seed the replacement processor when the leaf's partial set
+        grows: the inherited witnesses remain interior points of cells of the
+        refined arrangement.
+        """
+        return self._probe_points[self._seed_count:]
+
+    def _add_probe(self, point: np.ndarray) -> None:
+        if len(self._probe_points) >= _MAX_PROBES:
+            return
+        self._probe_points.append(point)
+        self._probe_cache = None
+
+    def _probe_panel(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(points, normalised margins, validity)`` of the panel.
+
+        Margins are per partial row, normalised by the row norm so they
+        compare directly against the inscribed-radius thresholds; validity
+        requires clearance from the box walls and the base (simplex)
+        constraints, mirroring the solver's quick-accept conditions.
+        """
+        if self._probe_cache is None:
+            P = np.asarray(self._probe_points, dtype=float)
+            threshold = ACCEPT_MARGIN_FACTOR * MIN_INTERIOR_RADIUS
+            valid = np.minimum(P - self.lower, self.upper - P).min(axis=1) > threshold
+            base_norms = np.sqrt(np.einsum("ij,ij->i", self._base_A, self._base_A))
+            base_norms = np.where(base_norms > 0, base_norms, 1.0)
+            base_margin = (self._base_A @ P.T - self._base_b[:, None]) / base_norms[:, None]
+            valid &= (base_margin > threshold).all(axis=0)
+            if self.partial:
+                margins = (
+                    self._partial_A @ P.T - self._partial_b[:, None]
+                ) / self._partial_norms[:, None]
+            else:
+                margins = np.zeros((0, P.shape[0]))
+            self._probe_cache = (P, margins, valid)
+        return self._probe_cache
+
     def _bits_for(self, ones: Sequence[int]) -> Tuple[int, ...]:
         bits = [0] * len(self.partial)
         for position in ones:
@@ -218,13 +409,89 @@ class WithinLeafProcessor:
         return polygon_centroid(polygon)
 
     # ------------------------------------------------------------ enumeration
+    #: Candidates processed per vectorised batch; bounds the bit-matrix
+    #: memory when a leaf's C(m, w) runs into the millions.
+    _CHUNK = 32768
+
     def cells_at_weight(self, weight: int) -> List[LeafCell]:
         """All non-empty cells of Hamming weight exactly ``weight``."""
+        m = len(self.partial)
+        if m == 0 or self.dim == 2:
+            return self._cells_at_weight_sequential(weight)
+        iterator = combinations(range(m), weight)
+        cells: List[LeafCell] = []
+        pairwise = self._pairwise if (self._pairwise and len(self._pairwise)) else None
+        while True:
+            chunk = list(islice(iterator, self._CHUNK))
+            if not chunk:
+                break
+            bit_matrix = np.zeros((len(chunk), m), dtype=np.int8)
+            if weight:
+                rows = np.repeat(np.arange(len(chunk)), weight)
+                cols = np.fromiter(
+                    chain.from_iterable(chunk), dtype=np.intp, count=len(chunk) * weight
+                )
+                bit_matrix[rows, cols] = 1
+            combos = chunk
+            if pairwise is not None:
+                keep = ~pairwise.violation_mask(bit_matrix)
+                if self.counters is not None:
+                    self.counters.pairwise_pruned += int(np.count_nonzero(~keep))
+                if not keep.all():
+                    combos = [ones for ones, flag in zip(chunk, keep) if flag]
+                    bit_matrix = bit_matrix[keep]
+            if not combos:
+                continue
+            if self.counters is not None:
+                self.counters.cells_examined += len(combos)
+            signs = bit_matrix.astype(float) * 2.0 - 1.0
+            probes, probe_margins, probe_valid = self._probe_panel()
+            status, witnesses = screen_cells_batch(
+                self._partial_A,
+                self._partial_b,
+                signs,
+                self.lower,
+                self.upper,
+                base_A=self._base_A,
+                base_b=self._base_b,
+                probes=probes,
+                probe_margins=probe_margins,
+                probe_valid=probe_valid,
+                counters=self.counters,
+            )
+            for row, ones in enumerate(combos):
+                if status[row] < 0:
+                    continue
+                if status[row] > 0:
+                    point = witnesses[row]
+                else:
+                    point = self._test_cell_lp(self._bits_for(ones))
+                    if point is not None:
+                        self._add_probe(point)
+                if point is None:
+                    continue
+                if self.counters is not None:
+                    self.counters.nonempty_cells += 1
+                inside_ids = tuple(self.partial[pos][0] for pos in ones)
+                cells.append(
+                    LeafCell(
+                        bits=self._bits_for(ones),
+                        inside_ids=inside_ids,
+                        p_order=weight,
+                        interior_point=point,
+                    )
+                )
+        return cells
+
+    def _cells_at_weight_sequential(self, weight: int) -> List[LeafCell]:
+        """Per-cell path: 2-D clipping and the empty-partial degenerate case."""
         cells: List[LeafCell] = []
         positions = range(len(self.partial))
         for ones in combinations(positions, weight):
             bits = self._bits_for(ones)
             if self._pairwise is not None and self._pairwise.violates(bits):
+                if self.counters is not None:
+                    self.counters.pairwise_pruned += 1
                 continue
             point = self._test_cell(bits)
             if point is None:

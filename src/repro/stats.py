@@ -40,6 +40,15 @@ class CostCounters:
         Augmented half-spaces expanded by AA.
     cells_examined:
         Candidate cells whose emptiness was tested.
+    screen_accepts / screen_rejects:
+        Candidate cells resolved by the vectorised accept screen (a probe
+        point certified the cell non-empty) respectively the reject screen
+        (some constraint row is unsatisfiable anywhere in the leaf) — these
+        cells never reach the LP.  See
+        :func:`repro.geometry.lp.screen_cells_batch`.
+    pairwise_pruned:
+        Candidate bit-strings dismissed by the pairwise binary constraints
+        before any feasibility work (not part of ``cells_examined``).
     lp_calls:
         Linear-programming feasibility calls performed.
     leaves_processed / leaves_pruned:
@@ -53,6 +62,9 @@ class CostCounters:
     halfspaces_expanded: int = 0
     cells_examined: int = 0
     nonempty_cells: int = 0
+    screen_accepts: int = 0
+    screen_rejects: int = 0
+    pairwise_pruned: int = 0
     lp_calls: int = 0
     leaves_processed: int = 0
     leaves_pruned: int = 0
@@ -110,6 +122,9 @@ class CostCounters:
             "halfspaces_expanded": self.halfspaces_expanded,
             "cells_examined": self.cells_examined,
             "nonempty_cells": self.nonempty_cells,
+            "screen_accepts": self.screen_accepts,
+            "screen_rejects": self.screen_rejects,
+            "pairwise_pruned": self.pairwise_pruned,
             "lp_calls": self.lp_calls,
             "leaves_processed": self.leaves_processed,
             "leaves_pruned": self.leaves_pruned,
@@ -128,6 +143,9 @@ class CostCounters:
         self.halfspaces_expanded += other.halfspaces_expanded
         self.cells_examined += other.cells_examined
         self.nonempty_cells += other.nonempty_cells
+        self.screen_accepts += other.screen_accepts
+        self.screen_rejects += other.screen_rejects
+        self.pairwise_pruned += other.pairwise_pruned
         self.lp_calls += other.lp_calls
         self.leaves_processed += other.leaves_processed
         self.leaves_pruned += other.leaves_pruned

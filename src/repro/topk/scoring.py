@@ -33,24 +33,19 @@ def score_all(dataset: Dataset, query: ArrayLike) -> np.ndarray:
     return dataset.scores(query)
 
 
-#: Score differences below this absolute tolerance are treated as ties.  The
-#: paper ignores ties; the tolerance also absorbs the one-ulp discrepancies
-#: between vector and matrix dot products, so a focal record never appears to
-#: outscore itself.
-SCORE_TIE_TOLERANCE = 1e-12
-
-
 def order_of(dataset: Dataset, focal: ArrayLike, query: ArrayLike) -> int:
     """Return the order (1-based rank) of ``focal`` w.r.t. ``query``.
 
     The order equals one plus the number of dataset records whose score is
-    strictly greater than the focal record's score (ties, including the focal
-    record itself when it belongs to the dataset, do not count).
+    strictly greater than the focal record's score.  The comparison is strict,
+    matching the open half-space convention of the geometry layer (``r`` only
+    counts against ``p`` where ``r · q > p · q``); exact ties — including the
+    focal record itself when it belongs to the dataset — do not count.
     """
     focal_vec = dataset.validate_focal(focal)
     q = validate_query_vector(query, dataset.d)
     focal_score = float(focal_vec @ q)
-    better = int(np.count_nonzero(dataset.records @ q > focal_score + SCORE_TIE_TOLERANCE))
+    better = int(np.count_nonzero(dataset.records @ q > focal_score))
     return better + 1
 
 
