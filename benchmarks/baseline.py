@@ -21,11 +21,14 @@ Modes
 
     * any result fingerprint differs (``k*`` / region counts / minimum cell
       orders are required to be bit-identical), or
-    * a deterministic work counter (LP calls, candidate cells) regresses by
-      more than 15 %, or
-    * calibrated wall-clock regresses by more than 15 %.  Wall-clock is
-      normalised by a short CPU calibration loop measured on both sides, so
-      the check is meaningful across machines of different speeds.
+    * a deterministic work counter (LP calls, cells examined, candidates
+      generated) regresses by more than 15 %, or
+    * calibrated wall-clock regresses by more than 35 % on a configuration
+      whose committed wall-clock is at least half a second.  Wall-clock is
+      normalised by a short CPU calibration loop measured on both sides;
+      the normalisation transfers only approximately across hosts, so the
+      wall gate is deliberately loose — the deterministic counters are the
+      hard gate.
 ``--quick``
     Restrict any of the modes above to the quick subset (used by CI).
 
@@ -54,9 +57,18 @@ from repro.index.rstar import RStarTree                 # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_maxrank.json"
 SCHEMA = 1
-#: Maximum tolerated regression for calibrated wall-clock and for the
-#: deterministic work counters.
+#: Maximum tolerated regression for the deterministic work counters.
 REGRESSION_TOLERANCE = 0.15
+#: Maximum tolerated regression for calibrated wall-clock.  Wider than the
+#: counter tolerance: the calibration loop transfers a host's speed only
+#: approximately (the Seidel-LP / numpy speed ratio differs between CPU
+#: generations), so the hard regression gate is the deterministic counters
+#: and the wall gate only catches gross slowdowns.
+WALL_TOLERANCE = 0.35
+#: Configurations whose committed wall-clock is below this are exempt from
+#: the wall gate — sub-half-second runs are dominated by noise, and their
+#: work counters are checked exactly anyway.
+WALL_FLOOR_S = 0.5
 
 
 @dataclass(frozen=True)
@@ -83,15 +95,22 @@ CONFIGS: List[BenchConfig] = [
 #: Work counters whose regression fails a --compare run.  They are
 #: deterministic for a fixed workload, so the tolerance only absorbs
 #: intentional small algorithm adjustments, not machine noise.
-WORK_COUNTERS = ("lp_calls", "cells_examined")
+#: ``candidates_generated`` guards the generation volume of the
+#: prefix-pruned DFS: a change that re-materialises pruned candidates fails
+#: here even when wall-clock happens to absorb it.
+WORK_COUNTERS = ("lp_calls", "cells_examined", "candidates_generated")
 
 
-def calibrate(rounds: int = 1500) -> float:
+def calibrate(rounds: int = 1500, repeats: int = 3) -> float:
     """Seconds for a fixed CPU workload; normalises wall-clock across hosts.
 
     Mixes the two ingredients the benchmark exercises — the pure-Python
     Seidel solver and small-array numpy work — so the ratio between two
-    machines transfers reasonably to the measured queries.
+    machines transfers reasonably to the measured queries.  The loop is
+    repeated and the *minimum* taken: transient load inflates individual
+    timings but never deflates them, so the minimum is the stable estimate
+    of the machine's speed (a calibration measured under load would
+    otherwise skew every calibrated comparison against that baseline).
     """
     import numpy as np
 
@@ -102,11 +121,14 @@ def calibrate(rounds: int = 1500) -> float:
     box_upper = [1.0] * 4
     objective = [1.0, 0.5, -0.25, 0.125]
     matrix = rng.normal(size=(64, 8))
-    start = time.perf_counter()
-    for _ in range(rounds):
-        solve_lp(constraints, objective, box_lower, box_upper)
-        (matrix @ matrix.T).sum()
-    return time.perf_counter() - start
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            solve_lp(constraints, objective, box_lower, box_upper)
+            (matrix @ matrix.T).sum()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def run_config(config: BenchConfig) -> Dict[str, object]:
@@ -138,6 +160,8 @@ def run_config(config: BenchConfig) -> Dict[str, object]:
         "region_counts": [m.region_count for m in measurements],
         "lp_calls": int(counters.get("lp_calls", 0)),
         "cells_examined": int(counters.get("cells_examined", 0)),
+        "candidates_generated": int(counters.get("candidates_generated", 0)),
+        "prefixes_cut": int(counters.get("prefixes_cut", 0)),
         "pairwise_pruned": int(counters.get("pairwise_pruned", 0)),
         "screen_accepts": int(counters.get("screen_accepts", 0)),
         "screen_rejects": int(counters.get("screen_rejects", 0)),
@@ -190,10 +214,14 @@ def compare(
                 failures.append(
                     f"{key}: {counter} regressed {base_value:.0f} -> {value:.0f}"
                 )
-        if base_calibration > 0 and current_calibration > 0:
+        if (
+            base_calibration > 0
+            and current_calibration > 0
+            and float(base["wall_s"]) >= WALL_FLOOR_S
+        ):
             base_scaled = float(base["wall_s"]) / base_calibration
             scaled = float(entry["wall_s"]) / current_calibration
-            if scaled > base_scaled * (1 + REGRESSION_TOLERANCE):
+            if scaled > base_scaled * (1 + WALL_TOLERANCE):
                 failures.append(
                     f"{key}: calibrated wall-clock regressed "
                     f"{base_scaled:.2f} -> {scaled:.2f} "
@@ -211,12 +239,47 @@ def print_report(results: Dict[str, Dict[str, object]]) -> None:
             "k*": "/".join(str(v) for v in entry["k_stars"]),
             "|T|": "/".join(str(v) for v in entry["region_counts"]),
             "lp": entry["lp_calls"],
-            "cells": entry["cells_examined"],
-            "pruned": entry["pairwise_pruned"],
+            "generated": entry.get("candidates_generated", entry["cells_examined"]),
+            "cut": entry.get("prefixes_cut", 0),
             "screened%": round(100 * entry["screen_resolved_ratio"], 1),
         })
     print()
     print(format_table(rows, title="MaxRank benchmark matrix"))
+
+
+def print_funnel_comparison(
+    results: Dict[str, Dict[str, object]], baseline: Optional[Dict[str, object]]
+) -> None:
+    """Per-workload generation→screen→LP funnel, against the committed baseline.
+
+    Makes generation-volume regressions visible at a glance: the committed
+    candidate count sits next to the measured one, so a change that quietly
+    re-materialises pruned candidates shows up even when wall-clock absorbs
+    it.
+    """
+    def funnel_candidates(record: Dict[str, object]) -> object:
+        if not record:
+            return "-"
+        if "candidates_generated" in record:
+            generated = record["candidates_generated"]
+        else:  # pre-DFS baseline records
+            generated = record.get("cells_examined", 0)
+        return int(generated) + int(record.get("pairwise_pruned", 0))
+
+    base_entries = (baseline or {}).get("current", {}).get("configs", {})
+    rows = []
+    for key, entry in results.items():
+        rows.append({
+            "config": key,
+            "candidates": funnel_candidates(entry),
+            "baseline": funnel_candidates(base_entries.get(key, {})),
+            "cut": entry.get("prefixes_cut", 0),
+            "accepts": entry["screen_accepts"],
+            "rejects": entry["screen_rejects"],
+            "lp": entry["lp_calls"],
+        })
+    print()
+    print(format_table(rows, title="Screen funnel per workload (candidates vs committed baseline)"))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -237,6 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     status = 0
     if args.compare:
         baseline = load_baseline()
+        print_funnel_comparison(results, baseline)
         if baseline is None:
             print(f"no committed baseline at {BASELINE_PATH}", file=sys.stderr)
             status = 1

@@ -55,14 +55,50 @@ def aa_maxrank(
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the advanced approach (``d ≥ 3``).
 
-    Parameters mirror :func:`repro.core.ba.ba_maxrank`; the difference is in
-    how many records are accessed and how many half-spaces are inserted.
-    ``use_pairwise`` defaults to on: the pair analysis is resolved through
-    the same batched screens as the cells themselves (probe certification
-    plus corner-extreme rejects), so it costs a handful of matrix products
-    and an LP only per genuinely ambiguous pair — while each forbidden pair
-    dismisses whole swaths of candidate bit-strings before any feasibility
-    work.  Ablation A1 in ``benchmarks/`` quantifies the trade-off.
+    AA (paper, Section 6, Algorithm 1) iterates over a *mixed arrangement*
+    of augmented and singular half-spaces, expanding augmented half-spaces
+    only when a candidate minimum-order cell depends on them; it typically
+    accesses a small fraction of the incomparable records, which is its
+    advantage over :func:`repro.core.ba.ba_maxrank`.  Iterations reuse
+    within-leaf state incrementally: only leaves whose partial set grew are
+    re-enumerated, seeded with their previous witness points, pairwise
+    conflict masks and surviving-prefix frontier (see
+    :func:`repro.core.cells.collect_cells`).
+
+    Parameters
+    ----------
+    dataset, focal:
+        The dataset ``D`` (``d ≥ 3``) and focal record ``p`` (index or
+        coordinates).
+    tau:
+        iMaxRank slack ``τ ≥ 0``; 0 gives plain MaxRank.
+    tree:
+        Optional pre-built R*-tree over ``dataset.records``.
+    counters:
+        Optional :class:`~repro.stats.CostCounters` to accumulate into.
+    split_threshold:
+        Quad-tree leaf split threshold (ablation A2); ``None`` picks the
+        dimension-aware default.
+    use_pairwise:
+        Enable the pairwise binary constraints of Section 5.2 (ablation A1
+        switches them off).  On by default: the LP-free pair analysis
+        compiles into the conflict bitmasks that drive prefix-pruned
+        candidate generation, so forbidden bit combinations are never even
+        enumerated.  Ablation A1 in ``benchmarks/`` quantifies the
+        trade-off.
+
+    Returns
+    -------
+    MaxRankResult
+        ``k*``, the accurate minimum-order regions ``T`` (orders up to the
+        minimum plus ``tau``), and the cost report; ``algorithm`` is
+        ``"AA"``.
+
+    Raises
+    ------
+    AlgorithmError
+        When ``d < 3`` (use :func:`repro.core.aa2d.aa2d_maxrank`) or
+        ``tau < 0``.
     """
     if dataset.d < 3:
         raise AlgorithmError(

@@ -43,12 +43,20 @@ def ba_maxrank(
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the basic approach (``d ≥ 3``).
 
+    BA (paper, Section 5) maps every incomparable record to a half-space of
+    the reduced query space, indexes all of them in one augmented quad-tree
+    (Section 5.1) and scans the leaves in increasing ``|F_l|`` order with
+    within-leaf processing (Section 5.2).  Exact but non-scalable — it reads
+    the whole dataset — which is why the paper (and the benchmarks here)
+    only run it at small cardinalities.
+
     Parameters
     ----------
     dataset, focal:
-        The dataset ``D`` and focal record ``p`` (index or coordinates).
+        The dataset ``D`` (``d ≥ 3``) and focal record ``p`` (index or
+        coordinates).
     tau:
-        iMaxRank slack; 0 gives plain MaxRank.
+        iMaxRank slack ``τ ≥ 0``; 0 gives plain MaxRank.
     tree:
         Optional pre-built R*-tree over the dataset.
     counters:
@@ -57,9 +65,21 @@ def ba_maxrank(
         Quad-tree leaf split threshold (ablation A2).
     use_pairwise:
         Enable pairwise-constraint pruning inside leaves (ablation A1).  On
-        by default: the batched pair analysis costs a few matrix products
-        plus an LP per ambiguous pair, and every forbidden pair dismisses
-        candidate bit-strings before any feasibility work.
+        by default: the LP-free pair analysis compiles into conflict
+        bitmasks that stop forbidden candidate bit-strings from ever being
+        generated.
+
+    Returns
+    -------
+    MaxRankResult
+        ``k*``, the minimum-order regions ``T`` (orders up to the minimum
+        plus ``tau``) and the cost report; ``algorithm`` is ``"BA"``.
+
+    Raises
+    ------
+    AlgorithmError
+        When ``d < 3`` (use FCA or the 2-D advanced approach) or
+        ``tau < 0``.
     """
     if dataset.d < 3:
         raise AlgorithmError(

@@ -19,9 +19,14 @@ buckets (leaves keyed by ``|F_l|``) instead of traversing and sorting every
 leaf, so its cost is proportional to the number of competitive leaves — not
 to the size of the tree.  Between AA iterations only the leaves reported
 dirty by the tree (partial-overlap set grew) lose their cached within-leaf
-state, and even then the witness points they had already found are passed to
-the replacement processor as accept-screen probes, which makes re-scans of
-a grown leaf largely LP-free.
+state, and even then three things survive into the replacement processor:
+the witness points already found (accept-screen probes), the pairwise
+conflict masks (old pair verdicts stay valid because the leaf box is
+unchanged and the old partial set is a prefix of the new one) and the
+surviving-prefix frontier (re-enumeration extends previously surviving
+prefixes by the new half-spaces instead of re-walking the whole assignment
+tree).  This makes re-scans of a grown leaf largely LP-free *and* largely
+enumeration-free.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ import numpy as np
 from ..geometry.halfspace import reduced_space_constraints
 from ..geometry.polytope import ConvexPolytope
 from ..quadtree.quadtree import AugmentedQuadTree, QuadTreeNode
-from ..quadtree.withinleaf import LeafCell, WithinLeafProcessor
+from ..quadtree.withinleaf import LeafCell, LeafReuseState, WithinLeafProcessor
 from ..stats import CostCounters
 from .result import MaxRankRegion
 
@@ -129,16 +134,19 @@ def collect_cells(
         per iteration).  Per-leaf, per-weight results are stored keyed by
         ``id(leaf)`` and invalidated when the leaf's partial-overlap set has
         grown since they were computed; the invalidated entry's witness
-        points seed the new processor's accept screen.
+        points seed the new processor's accept screen, and its reuse state
+        (pairwise conflict masks plus the surviving-prefix frontier) seeds
+        the new processor's candidate generation.
     """
-    # Harvest witness seeds from cache entries the tree reports as dirty.
+    # Harvest witness and reuse-state seeds from cache entries the tree
+    # reports as dirty.
     dirty = tree.consume_dirty_leaves()
-    seeds: Dict[int, List[np.ndarray]] = {}
+    seeds: Dict[int, Tuple[List[np.ndarray], LeafReuseState]] = {}
     if cache is not None and dirty:
         for key in dirty:
             entry = cache.pop(key, None)
             if entry is not None:
-                seeds[key] = entry.witness_points()
+                seeds[key] = (entry.witness_points(), entry.processor.reuse_state())
 
     def state_for(leaf: QuadTreeNode) -> _LeafScanState:
         key = id(leaf)
@@ -147,13 +155,16 @@ def collect_cells(
             if entry is not None and entry.partial_len == len(leaf.partial):
                 return entry
         partial_pairs = [(hid, tree.halfspace(hid)) for hid in leaf.partial]
+        seed_probes, seed_state = seeds.get(key, (None, None))
         processor = WithinLeafProcessor(
             leaf.lower,
             leaf.upper,
             partial_pairs,
             use_pairwise=use_pairwise,
             counters=counters,
-            seed_probes=seeds.get(key),
+            seed_probes=seed_probes,
+            seed_state=seed_state,
+            track_frontier=cache is not None,
         )
         state = _LeafScanState(processor, len(leaf.partial))
         if cache is not None:

@@ -47,17 +47,28 @@ def maxrank(
 ) -> MaxRankResult:
     """Answer a MaxRank (or iMaxRank, with ``tau > 0``) query.
 
+    MaxRank (paper, Definition 1) asks for the highest rank ``k*`` a focal
+    record can achieve in the dataset under *any* linear preference vector,
+    together with all regions ``T`` of the preference space where that rank
+    is attained; iMaxRank (Definition 2) widens the answer to every region
+    within ``tau`` ranks of the optimum.  This façade dispatches to the
+    paper's algorithms: FCA (Section 4), BA (Section 5), AA (Section 6) and
+    the 2-D specialisation of AA (Section 6.3), plus brute-force oracles
+    used for verification.
+
     Parameters
     ----------
     dataset:
         The dataset ``D``.
     focal:
         The focal record ``p`` — either an index into ``dataset`` or explicit
-        coordinates (it need not belong to the dataset).
+        coordinates (it need not belong to the dataset, enabling the what-if
+        analyses of the paper's introduction).
     algorithm:
         One of ``"auto"``, ``"aa"``, ``"aa2d"``, ``"ba"``, ``"fca"``,
-        ``"exact"``.  ``"auto"`` selects the advanced approach suited to the
-        dataset's dimensionality.
+        ``"exact"``.  ``"auto"`` selects the paper's recommended processing
+        strategy for the dataset's dimensionality: ``aa2d`` for ``d = 2``
+        and ``aa`` for ``d ≥ 3``.
     tau:
         iMaxRank slack ``τ ≥ 0``; regions covering orders up to
         ``k* + tau`` are reported.
@@ -73,7 +84,16 @@ def maxrank(
     Returns
     -------
     MaxRankResult
-        ``k*``, the result regions ``T``, and the cost report.
+        ``k*`` (:attr:`~repro.core.result.MaxRankResult.k_star`), the result
+        regions ``T`` (each a convex polytope of the reduced preference
+        space with a ``representative_query()``), the dominator count, the
+        algorithm label and the per-query cost report.
+
+    Raises
+    ------
+    AlgorithmError
+        For an unknown algorithm name, a negative ``tau``, or an algorithm
+        incompatible with the dataset's dimensionality.
     """
     name = algorithm.lower()
     if name not in ALGORITHMS:
@@ -108,7 +128,15 @@ def imaxrank(
     counters: Optional[CostCounters] = None,
     **options,
 ) -> MaxRankResult:
-    """Answer an incremental MaxRank query (Definition 2 of the paper)."""
+    """Answer an incremental MaxRank query (paper, Definition 2).
+
+    Convenience wrapper around :func:`maxrank` that makes the iMaxRank
+    variant explicit in calling code: the result covers every region whose
+    attained rank is within ``tau`` of the optimum ``k*`` (``tau = 0``
+    degenerates to plain MaxRank).  Parameters, return value and errors are
+    those of :func:`maxrank`, with ``tau`` promoted to a required positional
+    argument.
+    """
     if tau < 0:
         raise AlgorithmError(f"tau must be non-negative, got {tau}")
     return maxrank(

@@ -162,6 +162,14 @@ def run_batch(
 ) -> BatchResult:
     """Answer ``queries`` MaxRank queries and aggregate their metrics.
 
+    Reproduces the paper's evaluation protocol (Section 7): one R*-tree per
+    dataset, a reproducible draw of focal records, one MaxRank (or iMaxRank)
+    query per focal record, and per-batch averages of CPU time, simulated
+    I/O, ``k*`` and ``|T|``.  Every per-query counter dump (including the
+    generation→screen→LP funnel; see
+    :func:`repro.experiments.reporting.screen_funnel`) is retained in the
+    returned measurements.
+
     Parameters
     ----------
     dataset:
@@ -175,12 +183,23 @@ def run_batch(
         iMaxRank slack.
     seed:
         Seed for focal-record selection.
+    label:
+        Display label of the batch (defaults to ``dataset/algorithm``).
     tree:
         Optional pre-built R*-tree shared across batches on the same dataset.
     focal_indices:
         Explicit focal records (overrides ``queries``/``seed``).
+    focal_strategy:
+        Focal-record selection strategy of :func:`select_focal_records`.
     options:
         Extra keyword arguments forwarded to the algorithm.
+
+    Returns
+    -------
+    BatchResult
+        One :class:`QueryMeasurement` per query plus aggregate properties
+        (``mean_cpu``, ``mean_io``, ``mean_k_star``, ``mean_regions``) and
+        the tree build time.
     """
     build_start = time.perf_counter()
     if tree is None:

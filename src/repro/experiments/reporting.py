@@ -86,16 +86,25 @@ def format_series(
 
 
 def screen_funnel(counters: Mapping[str, float]) -> Dict[str, float]:
-    """Summarise the within-leaf screen→LP funnel from a counter dump.
+    """Summarise the generation→screen→LP funnel from a counter dump.
 
     Takes the dictionary produced by
     :meth:`repro.stats.CostCounters.as_dict` (or an aggregation of several)
-    and derives the headline efficiency numbers of the batched feasibility
-    engine:
+    and derives the headline efficiency numbers of the within-leaf
+    feasibility engine.  The funnel starts at candidate *generation*: the
+    prefix-pruned DFS never materialises bit-strings that violate a pairwise
+    constraint or a per-row corner-extreme bound, so the entry count of the
+    funnel is the number of candidates actually emitted, with the pruning
+    volume visible as cut branches rather than discarded candidates.
 
     ``candidates``
-        Total candidate bit-strings considered (``cells_examined`` plus the
-        candidates dismissed by the pairwise constraints).
+        Candidate bit-strings that entered the screens: those emitted by
+        generation (``candidates_generated``) plus, on the legacy
+        enumerate-then-filter paths, the candidates dismissed by the
+        post-hoc pairwise filter (``pairwise_pruned``).
+    ``prefixes_cut``
+        DFS branches cut during generation; every cut skips an entire
+        subtree of candidates that the funnel therefore never sees.
     ``screen_resolved``
         Candidates resolved without any LP: pairwise-pruned, accept-screen
         certified (a probe point proved the cell non-empty) or reject-screen
@@ -108,11 +117,17 @@ def screen_funnel(counters: Mapping[str, float]) -> Dict[str, float]:
     pruned = float(counters.get("pairwise_pruned", 0))
     accepts = float(counters.get("screen_accepts", 0))
     rejects = float(counters.get("screen_rejects", 0))
-    examined = float(counters.get("cells_examined", 0))
-    candidates = examined + pruned
+    generated = float(counters.get("candidates_generated", 0))
+    if not generated:
+        # Counter dumps from before the DFS generator: fall back to the
+        # candidates that reached the screens.
+        generated = float(counters.get("cells_examined", 0))
+    candidates = generated + pruned
     resolved = pruned + accepts + rejects
     return {
         "candidates": candidates,
+        "candidates_generated": generated,
+        "prefixes_cut": float(counters.get("prefixes_cut", 0)),
         "pairwise_pruned": pruned,
         "screen_accepts": accepts,
         "screen_rejects": rejects,

@@ -231,7 +231,11 @@ def screen_cells_batch(
     set ``A x ≷ b`` and differs only in the orientation of each row, encoded
     by ``signs`` — a ``(C, m)`` matrix of ``±1`` where row ``c`` describes
     the cell ``{x : signs[c, i] · (A_i · x − b_i) > 0 ∀ i}`` intersected with
-    the box ``[lower, upper]`` and the fixed-orientation ``base`` rows.
+    the box ``[lower, upper]`` and the fixed-orientation ``base`` rows.  The
+    batches arrive from the prefix-pruned DFS generator of
+    :mod:`repro.quadtree.withinleaf`, which already refuses row orientations
+    unsatisfiable anywhere in the box, so within a leaf the reject screen
+    below mainly guards degenerate boxes and base-infeasible leaves.
 
     Two vectorised screens are applied:
 

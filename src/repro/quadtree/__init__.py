@@ -6,7 +6,7 @@ from .quadtree import (
     AugmentedQuadTree,
     QuadTreeNode,
 )
-from .withinleaf import LeafCell, PairwiseConstraints, WithinLeafProcessor
+from .withinleaf import LeafCell, LeafReuseState, PairwiseConstraints, WithinLeafProcessor
 
 __all__ = [
     "AugmentedQuadTree",
@@ -14,6 +14,7 @@ __all__ = [
     "DEFAULT_SPLIT_THRESHOLD",
     "DEFAULT_MAX_DEPTH",
     "LeafCell",
+    "LeafReuseState",
     "PairwiseConstraints",
     "WithinLeafProcessor",
 ]

@@ -14,28 +14,50 @@ constraints).  The first weight at which a non-empty cell appears is the
 minimum p-order of the leaf; all non-empty cells of that weight (plus up to
 ``extra`` additional weights, for iMaxRank) are reported.
 
-Feasibility is resolved through a batched screen→LP funnel
-(:func:`repro.geometry.lp.screen_cells_batch`): all candidate bit-strings of
-one weight are generated as a sign matrix, a vectorised reject screen kills
-rows unsatisfiable anywhere in the leaf, a panel of probe points (leaf
-centre, perturbed corners, witness points found earlier — including those
-inherited from a previous processor of the same leaf via ``seed_probes``)
-certifies non-empty cells by sign-pattern matching, and only the cells
-resolved by neither screen fall through to a per-cell Seidel LP.  The
-screens use a safety margin above the LP's feasibility radius, so the
-decisions are identical to running the LP on every cell.
+Candidate generation is *prefix-pruned*: instead of enumerating all
+``C(m, w)`` bit-strings of one Hamming weight and filtering them afterwards,
+a depth-first search walks index prefixes of the sign vector and never
+extends a partial assignment that is already provably empty — because it
+matches a forbidden pairwise bit combination (consulted through per-position
+conflict bitmasks) or because some fixed-orientation row is unsatisfiable
+anywhere in the leaf box (the per-row corner-extreme bound).  Cutting a
+branch skips the entire subtree of candidates below it, so the number of
+bit-strings ever materialised tracks the *feasible frontier* of the
+arrangement rather than the combinatorial total (``prefixes_cut`` and
+``candidates_generated`` in :class:`repro.stats.CostCounters` record both
+sides).  When no pruning structure exists the generator degrades to the
+plain chunked ``itertools.combinations`` walk.
+
+Surviving candidates are emitted as chunked sign matrices into the batched
+screen→LP funnel (:func:`repro.geometry.lp.screen_cells_batch`), unchanged
+from before: a vectorised reject screen kills rows unsatisfiable anywhere in
+the leaf, a panel of probe points (leaf centre, perturbed corners, witness
+points found earlier — including those inherited from a previous processor
+of the same leaf via ``seed_probes``) certifies non-empty cells by
+sign-pattern matching, and only the cells resolved by neither screen fall
+through to a per-cell Seidel LP.  The screens use a safety margin above the
+LP's feasibility radius, so the decisions are identical to running the LP on
+every cell.
 
 Two optimisations from the paper are implemented on top:
 
 * **pairwise binary constraints** — pairs of half-spaces that are disjoint,
   nested or jointly covering within the leaf forbid certain bit
-  combinations; violating bit-strings are dismissed without a feasibility
-  test.  The pair analysis is LP-free: each two-constraint feasibility over
-  the leaf box is solved in closed form by a vectorised fractional-knapsack
-  maximisation, for all pairs and orientations at once (instead of the
-  former four LPs per pair);
+  combinations; violating bit-strings are never generated.  The pair
+  analysis is LP-free: each two-constraint feasibility over the leaf box is
+  solved in closed form by a vectorised fractional-knapsack maximisation,
+  for all pairs and orientations at once (instead of the former four LPs
+  per pair);
 * an exact **polygon-clipping fast path** for the 2-dimensional reduced
   query space (data dimensionality 3), which avoids the LP entirely.
+
+AA re-scans reuse per-leaf state across iterations: a grown leaf's
+replacement processor inherits the previous processor's witness probes, its
+pairwise conflict masks (the leaf box is unchanged and the old partial set
+is a prefix of the new one, so old pair verdicts stay valid verbatim) and
+its surviving-prefix frontier (the generation survivors per weight), so
+re-enumeration only explores extensions of previously surviving prefixes by
+the newly arrived half-spaces.  See :class:`LeafReuseState`.
 """
 
 from __future__ import annotations
@@ -51,16 +73,22 @@ from ..geometry.halfspace import Halfspace, reduced_space_constraints
 from ..geometry.lp import (
     ACCEPT_MARGIN_FACTOR,
     MIN_INTERIOR_RADIUS,
+    box_row_extremes,
     find_interior_point_arrays,
     screen_cells_batch,
 )
 from ..stats import CostCounters
 
-__all__ = ["LeafCell", "WithinLeafProcessor", "PairwiseConstraints"]
+__all__ = ["LeafCell", "LeafReuseState", "WithinLeafProcessor", "PairwiseConstraints"]
 
 #: Cap on the number of probe points a processor keeps (centre + corners +
 #: inherited seeds + accumulated LP witnesses).
 _MAX_PROBES = 192
+
+#: Cap on the number of surviving candidates memoised per weight for the
+#: incremental-rescan frontier; beyond it the frontier is dropped (a rescan
+#: then falls back to a full DFS for that weight).
+_FRONTIER_CAP = 16384
 
 
 @dataclass(frozen=True)
@@ -150,10 +178,26 @@ class PairwiseConstraints:
     subset of what an exact LP with the base constraints would — pruning
     stays sound, it just occasionally lets a doomed candidate through to the
     cell screens.
+
+    The forbidden patterns double as per-position *conflict bitmasks*
+    (:meth:`conflict_masks`) consumed by the prefix-pruned DFS candidate
+    generator, and the analysis is *incremental*: when a leaf's partial set
+    grows during AA (the old id list is a prefix of the new one and the leaf
+    box is unchanged), :meth:`build` with ``reuse=`` copies every old pair
+    verdict verbatim and only analyses pairs involving the new half-spaces.
     """
 
     def __init__(self) -> None:
         self._forbidden: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+        #: identity of the analysed configuration, for safe incremental reuse
+        self._ids: Tuple[int, ...] = ()
+        self._lower: Optional[np.ndarray] = None
+        self._upper: Optional[np.ndarray] = None
+        self._masks: Optional[Tuple[list, list]] = None
+        self._masks_m = -1
+        #: number of leading positions whose pair verdicts were copied from a
+        #: reused analysis (0 when built from scratch)
+        self._reused_prefix_len = 0
 
     @classmethod
     def build(
@@ -164,14 +208,38 @@ class PairwiseConstraints:
         base_constraints: Sequence[Halfspace] = (),
         *,
         counters: Optional[CostCounters] = None,
+        reuse: Optional["PairwiseConstraints"] = None,
     ) -> "PairwiseConstraints":
-        """Analyse every pair of partial half-spaces within the leaf box."""
+        """Analyse every pair of partial half-spaces within the leaf box.
+
+        ``reuse`` may carry the constraints of a previous processor of the
+        same leaf; when its id list is a prefix of the current one and the
+        box is identical, its pair verdicts are copied and only the pairs
+        involving newly arrived half-spaces are analysed.
+        """
         constraints = cls()
         m = len(halfspaces)
-        if m < 2:
-            return constraints
         lower = np.asarray(lower, dtype=float).ravel()
         upper = np.asarray(upper, dtype=float).ravel()
+        constraints._ids = tuple(hid for hid, _ in halfspaces)
+        constraints._lower = lower
+        constraints._upper = upper
+        if m < 2:
+            return constraints
+        start = 0
+        if (
+            reuse is not None
+            and reuse._lower is not None
+            and len(reuse._ids) <= m
+            and reuse._ids == constraints._ids[: len(reuse._ids)]
+            and np.array_equal(reuse._lower, lower)
+            and np.array_equal(reuse._upper, upper)
+        ):
+            constraints._forbidden.update(reuse._forbidden)
+            start = len(reuse._ids)
+            constraints._reused_prefix_len = start
+        if start >= m:
+            return constraints
         A = np.vstack([h.coefficients for _, h in halfspaces])
         b = np.array([h.offset for _, h in halfspaces], dtype=float)
         norms = np.sqrt(np.einsum("ij,ij->i", A, A))
@@ -180,7 +248,12 @@ class PairwiseConstraints:
         #: orientation: sign s turns ``a · x > b`` into ``(s a) · x > s b``.
         margin = MIN_INTERIOR_RADIUS * norms
 
-        pair_idx = np.array(list(combinations(range(m), 2)), dtype=np.intp)
+        # Pairs not yet covered by the reused verdicts: those whose larger
+        # index falls in the newly arrived suffix.
+        pair_idx = np.array(
+            [(i, j) for j in range(max(start, 1), m) for i in range(j)],
+            dtype=np.intp,
+        )
         i_idx, j_idx = pair_idx[:, 0], pair_idx[:, 1]
         results = {}
         for bit_i in (0, 1):
@@ -221,12 +294,70 @@ class PairwiseConstraints:
                 mask |= (col_i == bit_i) & (col_j == bit_j)
         return mask
 
+    def conflict_masks(self, m: int) -> Tuple[list, list]:
+        """Per-position conflict bitmasks for the prefix-pruned DFS.
+
+        Returns ``(one_masks, zero_masks)``, each a list with one
+        ``[mask_for_bit0, mask_for_bit1]`` entry per position ``p``:
+        ``one_masks[p][v]`` has bit ``q`` set when assigning bit ``v`` at
+        position ``p`` conflicts with an earlier position ``q < p`` that was
+        assigned 1 (the pair ``(q, p)`` forbids the combination ``(1, v)``);
+        ``zero_masks[p][v]`` covers earlier positions assigned 0.  The DFS
+        tests a partial assignment with two bitwise ANDs per extension.
+        """
+        if self._masks is None or self._masks_m != m:
+            one_masks = [[0, 0] for _ in range(m)]
+            zero_masks = [[0, 0] for _ in range(m)]
+            for (pos_i, pos_j), forbidden in self._forbidden.items():
+                bit_i_mask = 1 << pos_i
+                for bit_i, bit_j in forbidden:
+                    if bit_i:
+                        one_masks[pos_j][bit_j] |= bit_i_mask
+                    else:
+                        zero_masks[pos_j][bit_j] |= bit_i_mask
+            self._masks = (one_masks, zero_masks)
+            self._masks_m = m
+        return self._masks
+
     def __len__(self) -> int:
         return len(self._forbidden)
 
 
+@dataclass(frozen=True)
+class LeafReuseState:
+    """Cached within-leaf state handed across AA re-scans of a grown leaf.
+
+    Attributes
+    ----------
+    partial_ids:
+        Half-space ids of the partial set the state was computed for; reuse
+        requires them to be a prefix of the new processor's partial ids.
+    pairwise:
+        The previous processor's pairwise analysis (None when it was never
+        built); old pair verdicts are copied verbatim and only new pairs are
+        analysed.
+    frontier:
+        Per-weight tuples of surviving candidate combinations (the
+        generation survivors, before the screens) over ``partial_ids``
+        positions, or ``None`` for weights whose survivor set overflowed
+        :data:`_FRONTIER_CAP`.  Re-enumeration at a weight extends these
+        prefixes by the new positions only, instead of re-walking the whole
+        assignment tree.
+    """
+
+    partial_ids: Tuple[int, ...]
+    pairwise: Optional[PairwiseConstraints]
+    frontier: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]
+
+
 class WithinLeafProcessor:
     """Enumerates the minimum-order cells inside one quad-tree leaf.
+
+    This is the within-leaf module of the paper's Section 5.2: candidate
+    bit-strings over the leaf's partial set are generated in increasing
+    Hamming weight by a prefix-pruned DFS and resolved through the batched
+    screen→LP funnel; the smallest weight with a non-empty cell is the
+    leaf's minimum p-order.
 
     Parameters
     ----------
@@ -241,12 +372,23 @@ class WithinLeafProcessor:
     pairwise_min_size:
         Minimum ``|P_l|`` at which the pairwise analysis is carried out.
     counters:
-        Optional cost counters (cells examined, LP calls, screen hits).
+        Optional cost counters (candidates generated, prefixes cut, cells
+        examined, LP calls, screen hits).
     seed_probes:
         Witness points inherited from a previous processor of the same leaf
         (AA re-scans after the partial set grew); they are added to the
         accept-screen probe panel, so cells already discovered in an earlier
         iteration are re-certified without any LP.
+    seed_state:
+        :class:`LeafReuseState` of the previous processor of the same leaf;
+        when its partial ids are a prefix of this processor's, the pairwise
+        conflict masks are extended instead of recomputed and candidate
+        generation resumes from the cached surviving-prefix frontier.
+    track_frontier:
+        Memoise the generation survivors per weight so :meth:`reuse_state`
+        can hand them to a replacement processor.  Off by default — only a
+        caller that actually caches processors across re-scans (AA's
+        ``collect_cells`` with a cache) should pay the bookkeeping.
     """
 
     def __init__(
@@ -259,6 +401,8 @@ class WithinLeafProcessor:
         pairwise_min_size: int = 6,
         counters: Optional[CostCounters] = None,
         seed_probes: Optional[Sequence[np.ndarray]] = None,
+        seed_state: Optional[LeafReuseState] = None,
+        track_frontier: bool = False,
     ) -> None:
         self.lower = np.asarray(lower, dtype=float).ravel()
         self.upper = np.asarray(upper, dtype=float).ravel()
@@ -280,6 +424,37 @@ class WithinLeafProcessor:
             self._partial_A = np.zeros((0, self.dim))
             self._partial_b = np.zeros(0)
             self._partial_norms = np.ones(0)
+        # Per-row corner-extreme orientation bounds: a row whose oriented
+        # half-space is unsatisfiable anywhere in the leaf box proves every
+        # partial assignment fixing that orientation empty, so the DFS never
+        # expands it.  Mirrors the batch reject screen's margin exactly.
+        if self.partial:
+            row_min, row_max = box_row_extremes(self._partial_A, self.lower, self.upper)
+            row_margin = MIN_INTERIOR_RADIUS * self._partial_norms
+            self._row_allowed = (
+                (row_min < self._partial_b - row_margin).tolist(),
+                (row_max > self._partial_b + row_margin).tolist(),
+            )
+        else:
+            self._row_allowed = ([], [])
+        self._rows_restricted = not (
+            all(self._row_allowed[0]) and all(self._row_allowed[1])
+        )
+        #: generation survivors per weight (the surviving-prefix frontier
+        #: inherited by the replacement processor on AA re-scans)
+        self._track_frontier = bool(track_frontier)
+        self._frontier: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]] = {}
+        self._seed_frontier: Optional[
+            Tuple[int, Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]]
+        ] = None
+        reuse_pairwise: Optional[PairwiseConstraints] = None
+        if seed_state is not None:
+            ids = tuple(hid for hid, _ in self.partial)
+            old_m = len(seed_state.partial_ids)
+            if old_m <= len(ids) and seed_state.partial_ids == ids[:old_m]:
+                reuse_pairwise = seed_state.pairwise
+                if seed_state.frontier:
+                    self._seed_frontier = (old_m, seed_state.frontier)
         if self.dim == 2:
             self._oriented = [
                 (halfspace, halfspace.complement()) for _, halfspace in self.partial
@@ -298,8 +473,21 @@ class WithinLeafProcessor:
         if use_pairwise and len(self.partial) >= pairwise_min_size:
             self._pairwise = PairwiseConstraints.build(
                 self.partial, self.lower, self.upper, self._base,
-                counters=counters,
+                counters=counters, reuse=reuse_pairwise,
             )
+
+    def reuse_state(self) -> LeafReuseState:
+        """Snapshot of the reusable per-leaf state for a replacement processor.
+
+        Handed to the replacement processor (via ``seed_state``) when the
+        leaf's partial set grows between AA iterations; see
+        :class:`LeafReuseState`.
+        """
+        return LeafReuseState(
+            partial_ids=tuple(hid for hid, _ in self.partial),
+            pairwise=self._pairwise,
+            frontier=dict(self._frontier),
+        )
 
     # --------------------------------------------------------------- plumbing
     def _default_probes(self) -> List[np.ndarray]:
@@ -410,39 +598,255 @@ class WithinLeafProcessor:
 
     # ------------------------------------------------------------ enumeration
     #: Candidates processed per vectorised batch; bounds the bit-matrix
-    #: memory when a leaf's C(m, w) runs into the millions.
+    #: memory when the surviving frontier of a weight runs into the millions.
     _CHUNK = 32768
 
-    def cells_at_weight(self, weight: int) -> List[LeafCell]:
-        """All non-empty cells of Hamming weight exactly ``weight``."""
-        m = len(self.partial)
-        if m == 0 or self.dim == 2:
-            return self._cells_at_weight_sequential(weight)
-        iterator = combinations(range(m), weight)
-        cells: List[LeafCell] = []
-        pairwise = self._pairwise if (self._pairwise and len(self._pairwise)) else None
+    def _combo_chunks(self, weight: int):
+        """Plain chunked ``C(m, w)`` enumeration (no pruning structure)."""
+        iterator = combinations(range(len(self.partial)), weight)
         while True:
             chunk = list(islice(iterator, self._CHUNK))
             if not chunk:
-                break
-            bit_matrix = np.zeros((len(chunk), m), dtype=np.int8)
+                return
+            yield chunk
+
+    def _dfs_chunks(self, weight: int, init_states: Optional[list] = None):
+        """Prefix-pruned DFS over sign-vector index prefixes.
+
+        Walks positions ``0 .. m-1`` assigning one bit per step; a branch is
+        cut (``prefixes_cut``) as soon as the partial assignment matches a
+        forbidden pairwise combination (two bitmask ANDs against the
+        conflict masks) or fixes a row orientation that is unsatisfiable
+        anywhere in the leaf box — the subtree of candidates below the cut
+        is never materialised.  Surviving complete assignments are emitted
+        as chunks of one-position tuples, in the same lexicographic order as
+        ``itertools.combinations`` (the 1-branch is explored first).
+
+        ``init_states`` optionally resumes the walk from mid-tree states
+        ``(pos, ones_count, ones_mask, zeros_mask, ones_tuple)`` — used by
+        the frontier-seeded re-enumeration of grown leaves.
+        """
+        m = len(self.partial)
+        allowed0, allowed1 = self._row_allowed
+        if self._pairwise is not None and len(self._pairwise):
+            one_masks, zero_masks = self._pairwise.conflict_masks(m)
+        else:
+            one_masks = zero_masks = None
+        counters = self.counters
+        cuts = 0
+        out: List[Tuple[int, ...]] = []
+        if init_states is None:
+            init_states = [(0, 0, 0, 0, ())]
+        # LIFO stack; within one expansion the 0-branch is pushed first so
+        # the 1-branch is popped (and therefore emitted) first.
+        stack = list(reversed(init_states))
+        while stack:
+            pos, count, ones_mask, zeros_mask, ones = stack.pop()
+            if count == weight:
+                # Tail of forced zeros: validate the remaining positions in
+                # place instead of pushing one stack frame per position.
+                valid = True
+                while pos < m:
+                    if not allowed0[pos]:
+                        valid = False
+                        break
+                    if zero_masks is not None and (
+                        (ones_mask & one_masks[pos][0])
+                        or (zeros_mask & zero_masks[pos][0])
+                    ):
+                        valid = False
+                        break
+                    zeros_mask |= 1 << pos
+                    pos += 1
+                if valid:
+                    out.append(ones)
+                    if len(out) >= self._CHUNK:
+                        yield out
+                        out = []
+                else:
+                    cuts += 1
+                continue
+            if weight - count == m - pos:
+                # Tail of forced ones.
+                valid = True
+                while pos < m:
+                    if not allowed1[pos]:
+                        valid = False
+                        break
+                    if one_masks is not None and (
+                        (ones_mask & one_masks[pos][1])
+                        or (zeros_mask & zero_masks[pos][1])
+                    ):
+                        valid = False
+                        break
+                    ones_mask |= 1 << pos
+                    ones = ones + (pos,)
+                    pos += 1
+                if valid:
+                    out.append(ones)
+                    if len(out) >= self._CHUNK:
+                        yield out
+                        out = []
+                else:
+                    cuts += 1
+                continue
+            bit = 1 << pos
+            # 0-branch (affordable here because weight - count < m - pos).
+            if allowed0[pos] and not (
+                zero_masks is not None
+                and (
+                    (ones_mask & one_masks[pos][0])
+                    or (zeros_mask & zero_masks[pos][0])
+                )
+            ):
+                stack.append((pos + 1, count, ones_mask, zeros_mask | bit, ones))
+            else:
+                cuts += 1
+            # 1-branch (count < weight is implied by the tail check above).
+            if allowed1[pos] and not (
+                one_masks is not None
+                and (
+                    (ones_mask & one_masks[pos][1])
+                    or (zeros_mask & zero_masks[pos][1])
+                )
+            ):
+                stack.append(
+                    (pos + 1, count + 1, ones_mask | bit, zeros_mask, ones + (pos,))
+                )
+            else:
+                cuts += 1
+        if counters is not None:
+            counters.prefixes_cut += cuts
+        if out:
+            yield out
+
+    def _frontier_states(self, weight: int) -> Optional[list]:
+        """DFS start states resuming from the inherited surviving frontier.
+
+        A candidate of weight ``w`` over ``m`` positions restricts, on the
+        previous processor's ``old_m`` positions, to a surviving assignment
+        of some weight ``w'' ∈ [w - (m - old_m), w]``; conflict masks for
+        old pairs are unchanged, so exactly the cached frontier assignments
+        can prefix a new candidate.  Each cached assignment is re-validated
+        against the (possibly richer) current masks and becomes a DFS start
+        state at position ``old_m``.  Returns ``None`` when any required
+        frontier weight is missing or overflowed — the caller then falls
+        back to the full DFS.
+        """
+        if self._seed_frontier is None:
+            return None
+        old_m, frontier = self._seed_frontier
+        m = len(self.partial)
+        lowest = max(0, weight - (m - old_m))
+        highest = min(weight, old_m)
+        if lowest > highest:
+            return []
+        needed = range(lowest, highest + 1)
+        for w2 in needed:
+            if frontier.get(w2) is None:
+                return None
+        allowed0, allowed1 = self._row_allowed
+        if self._pairwise is not None and len(self._pairwise):
+            one_masks, zero_masks = self._pairwise.conflict_masks(m)
+        else:
+            one_masks = zero_masks = None
+        # The cached combos already passed the previous processor's checks.
+        # Row bounds over the old positions are identical by construction
+        # (same box, prefix rows), and when the pair verdicts for the old
+        # prefix were copied verbatim the mask checks are identical too — the
+        # replay below can then never fail and is skipped.
+        trusted = one_masks is None or (
+            self._pairwise is not None
+            and self._pairwise._reused_prefix_len >= old_m
+        )
+        states = []
+        if trusted:
+            prefix_mask = (1 << old_m) - 1
+            for w2 in needed:
+                for combo in frontier[w2]:
+                    ones_mask = 0
+                    for pos in combo:
+                        ones_mask |= 1 << pos
+                    states.append(
+                        (old_m, len(combo), ones_mask, prefix_mask ^ ones_mask, combo)
+                    )
+            return states
+        for w2 in needed:
+            for combo in frontier[w2]:
+                ones_mask = 0
+                zeros_mask = 0
+                next_one = 0
+                valid = True
+                for pos in range(old_m):
+                    if next_one < len(combo) and combo[next_one] == pos:
+                        value = 1
+                        next_one += 1
+                    else:
+                        value = 0
+                    if not (allowed1[pos] if value else allowed0[pos]):
+                        valid = False
+                        break
+                    if one_masks is not None and (
+                        (ones_mask & one_masks[pos][value])
+                        or (zeros_mask & zero_masks[pos][value])
+                    ):
+                        valid = False
+                        break
+                    if value:
+                        ones_mask |= 1 << pos
+                    else:
+                        zeros_mask |= 1 << pos
+                if valid:
+                    states.append((old_m, len(combo), ones_mask, zeros_mask, combo))
+        return states
+
+    def _candidate_chunks(self, weight: int):
+        """Chunks of surviving candidate combinations at one weight.
+
+        Dispatches between the plain combination walk (no pruning structure
+        to exploit), the frontier-seeded DFS (grown leaf on an AA re-scan)
+        and the full prefix-pruned DFS.
+        """
+        pairwise_active = self._pairwise is not None and len(self._pairwise) > 0
+        if not pairwise_active and not self._rows_restricted:
+            yield from self._combo_chunks(weight)
+            return
+        states = self._frontier_states(weight)
+        if states is not None:
+            yield from self._dfs_chunks(weight, init_states=states)
+            return
+        yield from self._dfs_chunks(weight)
+
+    def cells_at_weight(self, weight: int) -> List[LeafCell]:
+        """All non-empty cells of Hamming weight exactly ``weight``.
+
+        Surviving candidates stream from :meth:`_candidate_chunks` as
+        chunked sign matrices into the screen→LP funnel
+        (:func:`repro.geometry.lp.screen_cells_batch`); the funnel interface
+        is unchanged from the enumerate-then-filter pipeline it replaced.
+        """
+        m = len(self.partial)
+        if m == 0 or self.dim == 2:
+            return self._cells_at_weight_sequential(weight)
+        if weight > m:
+            return []
+        cells: List[LeafCell] = []
+        survivors: Optional[List[Tuple[int, ...]]] = [] if self._track_frontier else None
+        for combos in self._candidate_chunks(weight):
+            if survivors is not None:
+                if len(survivors) + len(combos) <= _FRONTIER_CAP:
+                    survivors.extend(combos)
+                else:
+                    survivors = None
+            bit_matrix = np.zeros((len(combos), m), dtype=np.int8)
             if weight:
-                rows = np.repeat(np.arange(len(chunk)), weight)
+                rows = np.repeat(np.arange(len(combos)), weight)
                 cols = np.fromiter(
-                    chain.from_iterable(chunk), dtype=np.intp, count=len(chunk) * weight
+                    chain.from_iterable(combos), dtype=np.intp, count=len(combos) * weight
                 )
                 bit_matrix[rows, cols] = 1
-            combos = chunk
-            if pairwise is not None:
-                keep = ~pairwise.violation_mask(bit_matrix)
-                if self.counters is not None:
-                    self.counters.pairwise_pruned += int(np.count_nonzero(~keep))
-                if not keep.all():
-                    combos = [ones for ones, flag in zip(chunk, keep) if flag]
-                    bit_matrix = bit_matrix[keep]
-            if not combos:
-                continue
             if self.counters is not None:
+                self.counters.candidates_generated += len(combos)
                 self.counters.cells_examined += len(combos)
             signs = bit_matrix.astype(float) * 2.0 - 1.0
             probes, probe_margins, probe_valid = self._probe_panel()
@@ -481,6 +885,8 @@ class WithinLeafProcessor:
                         interior_point=point,
                     )
                 )
+        if self._track_frontier:
+            self._frontier[weight] = tuple(survivors) if survivors is not None else None
         return cells
 
     def _cells_at_weight_sequential(self, weight: int) -> List[LeafCell]:
@@ -493,6 +899,8 @@ class WithinLeafProcessor:
                 if self.counters is not None:
                     self.counters.pairwise_pruned += 1
                 continue
+            if self.counters is not None:
+                self.counters.candidates_generated += 1
             point = self._test_cell(bits)
             if point is None:
                 continue

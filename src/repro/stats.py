@@ -40,6 +40,18 @@ class CostCounters:
         Augmented half-spaces expanded by AA.
     cells_examined:
         Candidate cells whose emptiness was tested.
+    candidates_generated:
+        Candidate bit-strings emitted by within-leaf candidate generation
+        (the entry point of the screen→LP funnel).  With the prefix-pruned
+        DFS generator this counts only the candidates that survive
+        enumeration-time pruning; forbidden sign-vector subtrees are never
+        materialised (they are accounted by ``prefixes_cut`` instead).
+    prefixes_cut:
+        DFS branches cut during candidate generation because the partial
+        sign vector already violated a pairwise constraint or a per-row
+        corner-extreme bound.  Every cut skips an entire subtree of
+        candidate bit-strings, so this is *not* a candidate count — it is
+        the number of pruning events.
     screen_accepts / screen_rejects:
         Candidate cells resolved by the vectorised accept screen (a probe
         point certified the cell non-empty) respectively the reject screen
@@ -62,6 +74,8 @@ class CostCounters:
     halfspaces_expanded: int = 0
     cells_examined: int = 0
     nonempty_cells: int = 0
+    candidates_generated: int = 0
+    prefixes_cut: int = 0
     screen_accepts: int = 0
     screen_rejects: int = 0
     pairwise_pruned: int = 0
@@ -122,6 +136,8 @@ class CostCounters:
             "halfspaces_expanded": self.halfspaces_expanded,
             "cells_examined": self.cells_examined,
             "nonempty_cells": self.nonempty_cells,
+            "candidates_generated": self.candidates_generated,
+            "prefixes_cut": self.prefixes_cut,
             "screen_accepts": self.screen_accepts,
             "screen_rejects": self.screen_rejects,
             "pairwise_pruned": self.pairwise_pruned,
@@ -143,6 +159,8 @@ class CostCounters:
         self.halfspaces_expanded += other.halfspaces_expanded
         self.cells_examined += other.cells_examined
         self.nonempty_cells += other.nonempty_cells
+        self.candidates_generated += other.candidates_generated
+        self.prefixes_cut += other.prefixes_cut
         self.screen_accepts += other.screen_accepts
         self.screen_rejects += other.screen_rejects
         self.pairwise_pruned += other.pairwise_pruned

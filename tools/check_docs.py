@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Guard documentation code blocks against API drift.
+
+Extracts every fenced ``python`` code block from the given markdown files
+(default: README.md and docs/ARCHITECTURE.md) and executes them in order,
+doctest-style, inside one shared namespace per file.  A block that raises —
+because a documented function, argument or attribute no longer exists —
+fails the check, so the documentation cannot silently drift away from the
+actual API.
+
+Blocks can opt out with a ``<!-- docs-check: skip -->`` comment on the line
+directly above the opening fence (for illustrative pseudo-code).
+
+Usage::
+
+    python tools/check_docs.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_FILES = ("README.md", "docs/ARCHITECTURE.md")
+_FENCE = re.compile(
+    r"^(?P<indent>[ ]*)```python[^\n]*\n(?P<body>.*?)^(?P=indent)```[ ]*$",
+    re.MULTILINE | re.DOTALL,
+)
+_SKIP_MARK = "docs-check: skip"
+
+
+def extract_blocks(text: str) -> List[Tuple[int, str]]:
+    """Return ``(line_number, source)`` for every checkable python block."""
+    blocks: List[Tuple[int, str]] = []
+    for match in _FENCE.finditer(text):
+        preceding = text[: match.start()].rstrip("\n").rsplit("\n", 1)[-1]
+        if _SKIP_MARK in preceding:
+            continue
+        line = text[: match.start()].count("\n") + 1
+        indent = match.group("indent")
+        body = match.group("body")
+        if indent:
+            body = "\n".join(
+                row[len(indent):] if row.startswith(indent) else row
+                for row in body.split("\n")
+            )
+        blocks.append((line, body))
+    return blocks
+
+
+def run_file(path: Path) -> Tuple[List[str], int]:
+    """Execute every python block of one file; return (failures, block count)."""
+    failures: List[str] = []
+    blocks = extract_blocks(path.read_text(encoding="utf-8"))
+    namespace: dict = {"__name__": f"docscheck_{path.stem}"}
+    for line, source in blocks:
+        try:
+            code = compile(source, f"{path}:{line}", "exec")
+            exec(code, namespace)  # noqa: S102 - the whole point of the check
+        except Exception as error:  # pragma: no cover - failure reporting
+            failures.append(f"{path}:{line}: {type(error).__name__}: {error}")
+    return failures, len(blocks)
+
+
+def main(argv: List[str]) -> int:
+    targets = [Path(name) for name in (argv or list(DEFAULT_FILES))]
+    failures: List[str] = []
+    checked = 0
+    for target in targets:
+        path = target if target.is_absolute() else REPO_ROOT / target
+        if not path.exists():
+            failures.append(f"{target}: file not found")
+            continue
+        file_failures, block_count = run_file(path)
+        checked += block_count
+        failures.extend(file_failures)
+    if failures:
+        print("docs check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"docs check OK ({checked} code block(s) executed)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
