@@ -31,6 +31,12 @@ Modes
       hard gate.
 ``--quick``
     Restrict any of the modes above to the quick subset (used by CI).
+``--jobs N``
+    Run the within-leaf execution engine on an ``N``-worker process pool
+    (see :mod:`repro.engine`).  The engine is bit-identical to the serial
+    path — same results, same funnel counters — so ``--compare --jobs N``
+    checks the parallel path against the committed *serial* baseline and
+    must pass the same fingerprint and counter gates.
 
 The workload matrix is intentionally frozen: the ``--compare`` mode is only
 sound when both sides ran identical configurations.
@@ -131,7 +137,7 @@ def calibrate(rounds: int = 1500, repeats: int = 3) -> float:
     return best
 
 
-def run_config(config: BenchConfig) -> Dict[str, object]:
+def run_config(config: BenchConfig, jobs: Optional[int] = None) -> Dict[str, object]:
     """Execute one configuration and return its measurement record."""
     dataset = generate(config.distribution, config.n, config.d, seed=0)
     tree = RStarTree.build(dataset.records)
@@ -143,6 +149,7 @@ def run_config(config: BenchConfig) -> Dict[str, object]:
         seed=0,
         tree=tree,
         label=config.key,
+        jobs=jobs,
     )
     wall = time.perf_counter() - start
     measurements = batch.measurements
@@ -169,14 +176,14 @@ def run_config(config: BenchConfig) -> Dict[str, object]:
     }
 
 
-def run_matrix(quick: bool) -> Dict[str, Dict[str, object]]:
+def run_matrix(quick: bool, jobs: Optional[int] = None) -> Dict[str, Dict[str, object]]:
     """Run the (possibly restricted) workload matrix."""
     results: Dict[str, Dict[str, object]] = {}
     for config in CONFIGS:
         if quick and not config.quick:
             continue
         print(f"running {config.key} ...", flush=True)
-        results[config.key] = run_config(config)
+        results[config.key] = run_config(config, jobs=jobs)
     return results
 
 
@@ -191,8 +198,16 @@ def compare(
     current: Dict[str, Dict[str, object]],
     current_calibration: float,
     baseline: Dict[str, object],
+    *,
+    wall_gate: bool = True,
 ) -> List[str]:
-    """Return a list of failure messages (empty when the run is clean)."""
+    """Return a list of failure messages (empty when the run is clean).
+
+    ``wall_gate=False`` skips the calibrated wall-clock check — used for
+    ``--jobs`` runs, where the committed baseline is serial and the
+    wall-clock depends on the host's core count; the fingerprint and
+    counter gates (which a correct parallel run must pass unchanged) stay.
+    """
     failures: List[str] = []
     base_entries = baseline.get("current", {}).get("configs", {})
     base_calibration = float(baseline.get("current", {}).get("calibration_s", 0.0))
@@ -215,7 +230,8 @@ def compare(
                     f"{key}: {counter} regressed {base_value:.0f} -> {value:.0f}"
                 )
         if (
-            base_calibration > 0
+            wall_gate
+            and base_calibration > 0
             and current_calibration > 0
             and float(base["wall_s"]) >= WALL_FLOOR_S
         ):
@@ -290,11 +306,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fail on regression against BENCH_maxrank.json")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the 'current' section of BENCH_maxrank.json")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="process-pool workers for the within-leaf execution "
+                             "engine (results and counters stay bit-identical to "
+                             "serial, so --compare remains sound)")
     args = parser.parse_args(argv)
+    if args.update and args.jobs and args.jobs > 1:
+        parser.error("--update records the serial baseline; drop --jobs")
 
     calibration = calibrate()
-    print(f"calibration: {calibration:.3f}s")
-    results = run_matrix(quick=args.quick)
+    print(f"calibration: {calibration:.3f}s"
+          + (f", jobs: {args.jobs}" if args.jobs else ""))
+    results = run_matrix(quick=args.quick, jobs=args.jobs)
     print_report(results)
 
     status = 0
@@ -305,7 +328,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"no committed baseline at {BASELINE_PATH}", file=sys.stderr)
             status = 1
         else:
-            failures = compare(results, calibration, baseline)
+            failures = compare(
+                results,
+                calibration,
+                baseline,
+                wall_gate=not (args.jobs and args.jobs > 1),
+            )
             if failures:
                 print("\nREGRESSIONS:", file=sys.stderr)
                 for failure in failures:

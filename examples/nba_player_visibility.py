@@ -13,10 +13,17 @@ preference regions differ between roles.
 
 Run with::
 
-    python examples/nba_player_visibility.py
+    python examples/nba_player_visibility.py              # full market (slow)
+    python examples/nba_player_visibility.py --sample 120 # CI-sized, < 1 min
+
+At 8 attributes the preference space is 7-dimensional, so the market size
+drives the cost steeply; ``--sample`` shrinks the simulated market to keep
+the run interactive (the profiles stay qualitatively the same).
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -52,10 +59,20 @@ def analyse(nba, player: int, label: str) -> dict:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=350,
+        metavar="N",
+        help="number of simulated players to analyse (default 350; "
+        "use ~120 for a sub-minute run)",
+    )
+    args = parser.parse_args()
     # Note: at 8 attributes the preference space is 7-dimensional; keep the
     # market small so the analysis finishes interactively (see EXPERIMENTS.md
     # on the cost of high dimensionalities).
-    nba = load_real_dataset("NBA", n=350, seed=3)
+    nba = load_real_dataset("NBA", n=args.sample, seed=3)
     names = list(nba.attribute_names)
 
     guard_weights = np.zeros(nba.d)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.executors import LeafTaskExecutor, resolve_executor
 from ..errors import AlgorithmError
 from ..geometry.halfspace import halfspace_for_record
 from ..index.rstar import RStarTree
@@ -52,6 +53,7 @@ def aa_maxrank(
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
     use_pairwise: bool = True,
+    executor: Optional[LeafTaskExecutor] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the advanced approach (``d ≥ 3``).
 
@@ -86,6 +88,13 @@ def aa_maxrank(
         candidate generation, so forbidden bit combinations are never even
         enumerated.  Ablation A1 in ``benchmarks/`` quantifies the
         trade-off.
+    executor:
+        Optional :class:`~repro.engine.executors.LeafTaskExecutor` running
+        the independent within-leaf probes of each scan level (e.g. a
+        process pool; see :mod:`repro.engine`).  ``None`` selects the
+        serial in-process path, unless the ``REPRO_JOBS`` environment
+        variable forces a shared pool.  Results and counters are
+        bit-identical across executors.
 
     Returns
     -------
@@ -107,6 +116,7 @@ def aa_maxrank(
     if tau < 0:
         raise AlgorithmError(f"tau must be non-negative, got {tau}")
     start = time.perf_counter()
+    executor = resolve_executor(executor)
     accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
     counters = accessor.counters
 
@@ -174,6 +184,7 @@ def aa_maxrank(
                 use_pairwise=use_pairwise,
                 counters=counters,
                 cache=leaf_cache,
+                executor=executor,
             )
             if scan_best is None:
                 break

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.executors import LeafTaskExecutor, resolve_executor
 from ..errors import AlgorithmError
 from ..geometry.halfspace import halfspace_for_record
 from ..index.rstar import RStarTree
@@ -40,6 +41,7 @@ def ba_maxrank(
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
     use_pairwise: bool = True,
+    executor: Optional[LeafTaskExecutor] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the basic approach (``d ≥ 3``).
 
@@ -68,6 +70,11 @@ def ba_maxrank(
         by default: the LP-free pair analysis compiles into conflict
         bitmasks that stop forbidden candidate bit-strings from ever being
         generated.
+    executor:
+        Optional :class:`~repro.engine.executors.LeafTaskExecutor` running
+        the independent within-leaf probes of each scan level (e.g. a
+        process pool; see :mod:`repro.engine`).  ``None`` selects the
+        serial in-process path, unless ``REPRO_JOBS`` forces a pool.
 
     Returns
     -------
@@ -88,6 +95,7 @@ def ba_maxrank(
     if tau < 0:
         raise AlgorithmError(f"tau must be non-negative, got {tau}")
     start = time.perf_counter()
+    executor = resolve_executor(executor)
     accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
     counters = accessor.counters
 
@@ -122,7 +130,11 @@ def ba_maxrank(
 
     with counters.timer("within_leaf"):
         best_order, cell_records = collect_cells(
-            quadtree, tau=tau, use_pairwise=use_pairwise, counters=counters
+            quadtree,
+            tau=tau,
+            use_pairwise=use_pairwise,
+            counters=counters,
+            executor=executor,
         )
     if best_order is None:
         raise AlgorithmError(

@@ -27,6 +27,21 @@ surviving-prefix frontier (re-enumeration extends previously surviving
 prefixes by the new half-spaces instead of re-walking the whole assignment
 tree).  This makes re-scans of a grown leaf largely LP-free *and* largely
 enumeration-free.
+
+Execution engine
+----------------
+The scan doubles as the *scheduler* of the execution engine
+(:mod:`repro.engine`): the ``(leaf, weight)`` probes of one priority level
+are mutually independent, so they are materialised as self-contained
+:class:`~repro.engine.tasks.LeafTask` units and handed to a pluggable
+executor.  With the default serial executor the tasks run against
+long-lived in-process processors — byte-for-byte the pre-engine scan.  With
+a :class:`~repro.engine.executors.ProcessPoolExecutor` the tasks carry a
+snapshot of their leaf's reusable state (probe-panel history, pairwise
+verdicts, frontier) into worker processes, and the results — cells, new
+witnesses, frontier entries, worker-local
+:class:`~repro.stats.CostCounters` — are merged back **in task order**, so
+parallel runs reproduce the serial results and cost reports exactly.
 """
 
 from __future__ import annotations
@@ -36,7 +51,9 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
-from ..geometry.halfspace import reduced_space_constraints
+from ..engine.executors import LeafTaskExecutor
+from ..engine.tasks import LeafTask, LeafTaskResult
+from ..geometry.halfspace import Halfspace, reduced_space_constraints
 from ..geometry.polytope import ConvexPolytope
 from ..quadtree.quadtree import AugmentedQuadTree, QuadTreeNode
 from ..quadtree.withinleaf import LeafCell, LeafReuseState, WithinLeafProcessor
@@ -74,22 +91,114 @@ class CellRecord:
 
 
 class _LeafScanState:
-    """Lazy per-leaf scan state: a processor plus memoised per-weight results."""
+    """Per-leaf scan state: memoised per-weight results plus reusable seeds.
 
-    __slots__ = ("processor", "partial_len", "weight_cells")
+    In **inline** mode (serial executor) the state owns a long-lived
+    :class:`WithinLeafProcessor`, exactly as the pre-engine scan did.  In
+    **task** mode (process pool) it instead mirrors the state a long-lived
+    processor would hold — probe-panel history, pairwise verdicts, frontier
+    entries — assembled from task-result deltas; :meth:`make_task`
+    snapshots the mirror into the next self-contained
+    :class:`~repro.engine.tasks.LeafTask` so the rebuilt worker-side
+    processor is indistinguishable from the live one.
+    """
 
-    def __init__(self, processor: WithinLeafProcessor, partial_len: int) -> None:
-        self.processor = processor
-        self.partial_len = partial_len
-        self.weight_cells: dict = {}
+    __slots__ = (
+        "partial_len",
+        "seq",
+        "weight_cells",
+        "processor",
+        "lower",
+        "upper",
+        "partial_pairs",
+        "use_pairwise",
+        "track_frontier",
+        "seed_probes",
+        "seed_state",
+        "witnesses",
+        "pairwise",
+        "frontier",
+    )
 
-    def cells_at(self, weight: int) -> List[LeafCell]:
+    def __init__(
+        self,
+        leaf: QuadTreeNode,
+        partial_pairs: Tuple[Tuple[int, Halfspace], ...],
+        *,
+        use_pairwise: bool,
+        seed_probes: Optional[List[np.ndarray]],
+        seed_state: Optional[LeafReuseState],
+        track_frontier: bool,
+        inline: bool,
+        counters: Optional[CostCounters],
+    ) -> None:
+        self.partial_len = len(partial_pairs)
+        self.seq = leaf.seq
+        self.weight_cells: Dict[int, List[LeafCell]] = {}
+        if inline:
+            self.processor: Optional[WithinLeafProcessor] = WithinLeafProcessor(
+                leaf.lower,
+                leaf.upper,
+                partial_pairs,
+                use_pairwise=use_pairwise,
+                counters=counters,
+                seed_probes=seed_probes,
+                seed_state=seed_state,
+                track_frontier=track_frontier,
+            )
+            return
+        self.processor = None
+        self.lower = leaf.lower
+        self.upper = leaf.upper
+        self.partial_pairs = partial_pairs
+        self.use_pairwise = use_pairwise
+        self.track_frontier = track_frontier
+        #: probe-panel history shipped to every task: harvested seeds first,
+        #: then LP witnesses in discovery order (mirrors the live panel)
+        self.seed_probes: Tuple[np.ndarray, ...] = (
+            tuple(seed_probes) if seed_probes else ()
+        )
+        #: harvested reuse state — constant for this leaf configuration
+        self.seed_state = seed_state
+        self.witnesses: List[np.ndarray] = []
+        self.pairwise = None
+        self.frontier: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]] = {}
+
+    # ------------------------------------------------------------ execution
+    def cells_at_inline(self, weight: int) -> List[LeafCell]:
+        """Memoised within-leaf enumeration against the live processor."""
         if weight not in self.weight_cells:
             self.weight_cells[weight] = self.processor.cells_at_weight(weight)
         return self.weight_cells[weight]
 
+    def make_task(self, leaf_key: int, weight: int) -> LeafTask:
+        """Snapshot the mirror into a self-contained task for ``weight``."""
+        probes = self.seed_probes + tuple(self.witnesses)
+        return LeafTask(
+            leaf_key=leaf_key,
+            seq=self.seq,
+            weight=weight,
+            lower=self.lower,
+            upper=self.upper,
+            partial=self.partial_pairs,
+            use_pairwise=self.use_pairwise,
+            track_frontier=self.track_frontier,
+            seed_probes=probes if probes else None,
+            seed_state=self.seed_state,
+            pairwise=self.pairwise,
+        )
+
+    def absorb(self, result: LeafTaskResult) -> None:
+        """Merge a task result's deltas back into the mirror."""
+        self.weight_cells[result.weight] = result.cells
+        self.witnesses.extend(result.witnesses)
+        self.frontier.update(result.frontier)
+        if result.pairwise is not None:
+            self.pairwise = result.pairwise
+
+    # -------------------------------------------------------------- harvest
     def witness_points(self) -> List[np.ndarray]:
-        """Interior points of every memoised non-empty cell.
+        """Interior points of every memoised non-empty cell, plus LP probes.
 
         When the leaf's partial set grows, these remain interior points of
         cells of the refined arrangement and are handed to the replacement
@@ -100,8 +209,21 @@ class _LeafScanState:
             for cells in self.weight_cells.values()
             for cell in cells
         ]
-        points.extend(self.processor.witness_probes())
+        if self.processor is not None:
+            points.extend(self.processor.witness_probes())
+        else:
+            points.extend(self.witnesses)
         return points
+
+    def reuse_state(self) -> LeafReuseState:
+        """The leaf's reusable state (pairwise verdicts + frontier)."""
+        if self.processor is not None:
+            return self.processor.reuse_state()
+        return LeafReuseState(
+            partial_ids=tuple(hid for hid, _ in self.partial_pairs),
+            pairwise=self.pairwise,
+            frontier=dict(self.frontier),
+        )
 
 
 def collect_cells(
@@ -111,6 +233,7 @@ def collect_cells(
     use_pairwise: bool = True,
     counters: Optional[CostCounters] = None,
     cache: Optional[dict] = None,
+    executor: Optional[LeafTaskExecutor] = None,
 ) -> Tuple[Optional[int], List[CellRecord]]:
     """Scan the quad-tree for the smallest-order cells of its arrangement.
 
@@ -137,7 +260,14 @@ def collect_cells(
         points seed the new processor's accept screen, and its reuse state
         (pairwise conflict masks plus the surviving-prefix frontier) seeds
         the new processor's candidate generation.
+    executor:
+        Optional :class:`~repro.engine.executors.LeafTaskExecutor`.  The
+        independent ``(leaf, weight)`` probes of each priority level run
+        through it; ``None`` (or any ``inline`` executor) selects the
+        in-process serial path.  All executors produce bit-identical
+        results and counters — only wall-clock differs.
     """
+    inline = executor is None or executor.inline
     # Harvest witness and reuse-state seeds from cache entries the tree
     # reports as dirty.
     dirty = tree.consume_dirty_leaves()
@@ -146,27 +276,29 @@ def collect_cells(
         for key in dirty:
             entry = cache.pop(key, None)
             if entry is not None:
-                seeds[key] = (entry.witness_points(), entry.processor.reuse_state())
+                seeds[key] = (entry.witness_points(), entry.reuse_state())
 
     def state_for(leaf: QuadTreeNode) -> _LeafScanState:
         key = id(leaf)
         if cache is not None:
             entry = cache.get(key)
-            if entry is not None and entry.partial_len == len(leaf.partial):
+            if (
+                entry is not None
+                and entry.partial_len == len(leaf.partial)
+                and (entry.processor is not None) == inline
+            ):
                 return entry
-        partial_pairs = [(hid, tree.halfspace(hid)) for hid in leaf.partial]
         seed_probes, seed_state = seeds.get(key, (None, None))
-        processor = WithinLeafProcessor(
-            leaf.lower,
-            leaf.upper,
-            partial_pairs,
+        state = _LeafScanState(
+            leaf,
+            tree.leaf_partial_pairs(leaf),
             use_pairwise=use_pairwise,
-            counters=counters,
             seed_probes=seed_probes,
             seed_state=seed_state,
             track_frontier=cache is not None,
+            inline=inline,
+            counters=counters,
         )
-        state = _LeafScanState(processor, len(leaf.partial))
         if cache is not None:
             cache[key] = state
         return state
@@ -176,7 +308,7 @@ def collect_cells(
     touched = 0
     entered: set = set()
     #: weight continuations: priority -> [(leaf, state, weight)]
-    deferred: Dict[int, List[Tuple[QuadTreeNode, _LeafScanState, int]]] = {}
+    deferred: Dict[int, List[Tuple[QuadTreeNode, Optional[_LeafScanState], int]]] = {}
 
     priority = 0
     while True:
@@ -194,13 +326,46 @@ def collect_cells(
                 entered.add(id(leaf))
                 work.append((leaf, None, 0))
         work.extend(deferred.pop(priority, ()))
+
+        resolved: List[Tuple[QuadTreeNode, _LeafScanState, int]] = []
         for leaf, state, weight in work:
             if state is None:
                 state = state_for(leaf)
                 touched += 1
+            resolved.append((leaf, state, weight))
+
+        if not inline:
+            # Materialise every unresolved (leaf, weight) probe of this
+            # priority level as a self-contained task; the batch runs on the
+            # executor and the results merge back in task order.
+            pending = [
+                (index, state.make_task(id(leaf), weight))
+                for index, (leaf, state, weight) in enumerate(resolved)
+                if weight <= state.partial_len and weight not in state.weight_cells
+            ]
+            if pending:
+                results = executor.run([task for _, task in pending])
+                if len(results) != len(pending):
+                    raise RuntimeError(
+                        f"executor returned {len(results)} results "
+                        f"for {len(pending)} tasks"
+                    )
+                for (index, task), result in zip(pending, results):
+                    if result.leaf_key != task.leaf_key or result.weight != task.weight:
+                        raise RuntimeError(
+                            "executor returned results out of task order"
+                        )
+                    resolved[index][1].absorb(result)
+                    if counters is not None and result.counters is not None:
+                        counters.merge(result.counters)
+
+        for leaf, state, weight in resolved:
             if weight > state.partial_len:
                 continue
-            cells = state.cells_at(weight)
+            if inline:
+                cells = state.cells_at_inline(weight)
+            else:
+                cells = state.weight_cells[weight]
             if cells:
                 if best is None:
                     best = priority

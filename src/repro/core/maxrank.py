@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.executors import make_executor
 from ..errors import AlgorithmError
 from ..index.rstar import RStarTree
 from ..stats import CostCounters
@@ -43,6 +44,7 @@ def maxrank(
     tau: int = 0,
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
+    jobs: Optional[int] = None,
     **options,
 ) -> MaxRankResult:
     """Answer a MaxRank (or iMaxRank, with ``tau > 0``) query.
@@ -77,9 +79,17 @@ def maxrank(
         ``dataset.records`` (reused across queries by the benchmarks).
     counters:
         Optional :class:`~repro.stats.CostCounters` to accumulate costs into.
+    jobs:
+        Number of worker processes for the within-leaf execution engine
+        (BA/AA only; see :mod:`repro.engine`).  ``None`` or ``1`` runs
+        serially; ``jobs >= 2`` creates a process pool for this query.
+        Results and cost counters are bit-identical to the serial run.
+        For batches of queries, build one executor with
+        :func:`repro.engine.make_executor` and pass ``executor=`` instead,
+        so the pool is reused across queries.
     options:
         Algorithm-specific tuning knobs (``split_threshold``,
-        ``use_pairwise`` for BA/AA).
+        ``use_pairwise``, ``executor`` for BA/AA).
 
     Returns
     -------
@@ -107,14 +117,20 @@ def maxrank(
         return fca_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
     if name == "aa2d":
         return aa2d_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
-    if name == "ba":
-        return ba_maxrank(
-            dataset, focal, tau=tau, tree=tree, counters=counters, **options
-        )
-    if name == "aa":
-        return aa_maxrank(
-            dataset, focal, tau=tau, tree=tree, counters=counters, **options
-        )
+    if name in ("ba", "aa"):
+        run = ba_maxrank if name == "ba" else aa_maxrank
+        owned = None
+        if jobs is not None and options.get("executor") is None:
+            owned = make_executor(jobs)
+            if owned is not None:
+                options = dict(options, executor=owned)
+        try:
+            return run(
+                dataset, focal, tau=tau, tree=tree, counters=counters, **options
+            )
+        finally:
+            if owned is not None:
+                owned.close()
     return maxrank_exact_small(dataset, focal, tau=tau, **options)
 
 

@@ -1,0 +1,44 @@
+"""Execution engine: leaf-task scheduling with pluggable executors.
+
+The hottest loop of a MaxRank query — within-leaf cell enumeration over the
+quad-tree's competitive leaves — decomposes into independent, self-contained
+:class:`LeafTask` units (one per ``(leaf, Hamming weight)`` probe).  The
+scheduler in :func:`repro.core.cells.collect_cells` batches the tasks of one
+priority level and hands them to an executor:
+
+* :class:`SerialExecutor` (default) — in-process, bit-identical to the
+  pre-engine scan;
+* :class:`ProcessPoolExecutor` — ``jobs`` worker processes, chunked
+  dispatch, deterministic result-merge order; results (cells, witness
+  probes, frontier entries) and :class:`~repro.stats.CostCounters` merge
+  back losslessly, so parallel runs reproduce the serial results and
+  funnel reports exactly;
+* :class:`InlineTaskExecutor` — the self-contained task path without
+  processes (testing / debugging).
+
+Thread an executor through the public API (``maxrank(..., jobs=4)`` or
+``maxrank(..., executor=...)``), or force one globally with the
+``REPRO_JOBS`` environment variable.
+"""
+
+from .executors import (
+    InlineTaskExecutor,
+    LeafTaskExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_executor,
+)
+from .tasks import LeafTask, LeafTaskResult, execute_leaf_task
+
+__all__ = [
+    "LeafTask",
+    "LeafTaskResult",
+    "execute_leaf_task",
+    "LeafTaskExecutor",
+    "SerialExecutor",
+    "InlineTaskExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "resolve_executor",
+]

@@ -1,0 +1,241 @@
+"""Pluggable executors scheduling :class:`~repro.engine.tasks.LeafTask` units.
+
+The scheduler (:func:`repro.core.cells.collect_cells`) batches the leaf
+tasks of one priority level and hands the batch to an executor; the
+executor returns one :class:`~repro.engine.tasks.LeafTaskResult` per task,
+**in task order** — that ordering is the whole determinism story of the
+parallel path, so every executor must preserve it regardless of completion
+order.
+
+Executor contract
+-----------------
+* ``run(tasks)`` returns ``[result_for(t) for t in tasks]`` — same length,
+  same order; each result must be exactly what
+  :func:`~repro.engine.tasks.execute_leaf_task` produces for that task.
+* ``inline`` tells the scheduler whether tasks execute in the calling
+  process against scheduler-owned state (``True`` — the scheduler then
+  keeps long-lived per-leaf processors and skips snapshot shipping) or in
+  isolation (``False`` — tasks must be self-contained and results carry
+  counter deltas).
+* ``close()`` releases any resources; calling ``run`` afterwards is an
+  error for pooled executors.  Executors are context managers.
+
+Three implementations:
+
+* :class:`SerialExecutor` — the default; tasks run in the calling process
+  against live per-leaf processors, byte-for-byte the pre-engine scan.
+* :class:`InlineTaskExecutor` — runs the *self-contained* task path in the
+  calling process; no parallelism, but every snapshot/rebuild/merge code
+  path of the pool is exercised.  Used by the equivalence tests and useful
+  for debugging the pool path without processes.
+* :class:`ProcessPoolExecutor` — ``jobs`` worker processes with chunked
+  dispatch; results come back in task order and worker counters are merged
+  by the scheduler, so funnel reports stay exact.
+
+``REPRO_JOBS=N`` (N ≥ 2) in the environment forces a shared process pool on
+every query that does not pass an explicit executor — this is how CI runs
+the whole tier-1 suite through the pool.  ``REPRO_JOBS=task`` forces
+:class:`InlineTaskExecutor` instead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+from typing import List, Optional, Sequence
+
+from .tasks import LeafTask, LeafTaskResult, execute_leaf_task
+
+__all__ = [
+    "LeafTaskExecutor",
+    "SerialExecutor",
+    "InlineTaskExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "resolve_executor",
+]
+
+#: Target number of dispatch chunks per worker: small enough to amortise
+#: pickling, large enough that one straggler chunk cannot serialise the
+#: whole level.
+_CHUNKS_PER_WORKER = 4
+
+
+class LeafTaskExecutor:
+    """Base class fixing the executor contract (see module docstring)."""
+
+    #: True when tasks run in the calling process against scheduler-owned
+    #: state; False when tasks must be self-contained.
+    inline: bool = False
+
+    def run(self, tasks: Sequence[LeafTask]) -> List[LeafTaskResult]:
+        """Execute ``tasks`` and return their results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+    def __enter__(self) -> "LeafTaskExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(LeafTaskExecutor):
+    """Default in-process execution (bit-identical to the pre-engine scan).
+
+    The scheduler recognises ``inline`` executors and runs each task
+    against a long-lived per-leaf processor instead of snapshotting state
+    into the task — the exact pre-engine behaviour, with zero copy or
+    rebuild overhead.  ``run`` is still implemented (self-contained, via
+    :func:`execute_leaf_task`) so the serial executor honours the full
+    contract when driven directly, e.g. by tests.
+    """
+
+    inline = True
+
+    def run(self, tasks: Sequence[LeafTask]) -> List[LeafTaskResult]:
+        return [execute_leaf_task(task) for task in tasks]
+
+
+class InlineTaskExecutor(LeafTaskExecutor):
+    """Self-contained task execution in the calling process.
+
+    Exercises exactly the snapshot → rebuild → delta-merge machinery of the
+    process pool, minus the processes: useful to debug or test the
+    parallel path deterministically, and as a degenerate pool when only
+    one core is available.
+    """
+
+    inline = False
+
+    def run(self, tasks: Sequence[LeafTask]) -> List[LeafTaskResult]:
+        return [execute_leaf_task(task) for task in tasks]
+
+
+def _execute_chunk(tasks: List[LeafTask]) -> List[LeafTaskResult]:
+    """Worker entry point: run one chunk of tasks sequentially."""
+    return [execute_leaf_task(task) for task in tasks]
+
+
+class ProcessPoolExecutor(LeafTaskExecutor):
+    """Execute leaf tasks on a pool of ``jobs`` worker processes.
+
+    Tasks are dispatched in contiguous chunks (about
+    ``jobs * _CHUNKS_PER_WORKER`` chunks per batch) to amortise pickling;
+    chunk results are concatenated in submission order, so the merged
+    result list is independent of worker scheduling.  The pool is created
+    lazily on first use and torn down by :meth:`close` (or interpreter
+    exit).
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes (≥ 1).  ``jobs=1`` degenerates to
+        in-process execution of the self-contained path.
+    """
+
+    inline = False
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self._pool = None
+        self._closed = False
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self._pool is None:
+            import concurrent.futures
+            import multiprocessing
+
+            # Prefer fork: workers inherit the imported modules, so task
+            # dispatch does not pay a per-worker import of numpy/repro.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context()
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[LeafTask]) -> List[LeafTaskResult]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.jobs == 1 or len(tasks) == 1:
+            # One worker (or one task) gains nothing from IPC; the
+            # self-contained path is identical either way.
+            return [execute_leaf_task(task) for task in tasks]
+        pool = self._ensure_pool()
+        chunk_count = min(len(tasks), self.jobs * _CHUNKS_PER_WORKER)
+        size = math.ceil(len(tasks) / chunk_count)
+        chunks = [tasks[i: i + size] for i in range(0, len(tasks), size)]
+        results: List[LeafTaskResult] = []
+        for chunk_result in pool.map(_execute_chunk, chunks):
+            results.extend(chunk_result)
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def make_executor(jobs: Optional[int]) -> Optional[LeafTaskExecutor]:
+    """Executor for a ``jobs=`` request: ``None``/0/1 → serial, ≥2 → pool."""
+    if jobs is None or jobs <= 1:
+        return None
+    return ProcessPoolExecutor(jobs)
+
+
+_env_executor: Optional[LeafTaskExecutor] = None
+_env_checked = False
+
+
+def _executor_from_env() -> Optional[LeafTaskExecutor]:
+    """Shared executor forced by ``REPRO_JOBS`` (cached; ``None`` if unset).
+
+    The cache latch is only set after a *successful* parse, so a malformed
+    ``REPRO_JOBS`` raises on every query instead of degrading to a silent
+    serial run after the first error.
+    """
+    global _env_executor, _env_checked
+    if not _env_checked:
+        value = os.environ.get("REPRO_JOBS", "").strip().lower()
+        executor: Optional[LeafTaskExecutor] = None
+        if value == "task":
+            executor = InlineTaskExecutor()
+        elif value:
+            try:
+                jobs = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer or 'task', got {value!r}"
+                ) from None
+            if jobs >= 2:
+                executor = ProcessPoolExecutor(jobs)
+                atexit.register(executor.close)
+        _env_executor = executor
+        _env_checked = True
+    return _env_executor
+
+
+def resolve_executor(
+    executor: Optional[LeafTaskExecutor],
+) -> Optional[LeafTaskExecutor]:
+    """Resolve the executor for one query.
+
+    An explicit executor wins; otherwise the ``REPRO_JOBS`` environment
+    override applies; otherwise ``None`` (the scheduler's built-in serial
+    path, equivalent to :class:`SerialExecutor`).
+    """
+    if executor is not None:
+        return executor
+    return _executor_from_env()

@@ -1,0 +1,175 @@
+"""Self-contained leaf-processing work units of the execution engine.
+
+The quad-tree scan of :func:`repro.core.cells.collect_cells` decomposes into
+independent ``(leaf, Hamming weight)`` probes: enumerate the candidate cells
+of one weight inside one leaf and report the non-empty ones.  A
+:class:`LeafTask` captures everything such a probe needs — the leaf box, the
+partial half-space rows, the weight, and the reusable per-leaf state
+(witness probes, pairwise verdicts, surviving-prefix frontier) — so the
+probe can run in *any* process without the parent quad-tree:
+:func:`execute_leaf_task` rebuilds a
+:class:`~repro.quadtree.withinleaf.WithinLeafProcessor` from the task alone
+and runs the screen→LP funnel exactly as the in-process scan would.
+
+Determinism contract
+--------------------
+A task must produce bit-identical results wherever it runs.  This hinges on
+three properties, each pinned by tests:
+
+* the task ships the *entire* probe-panel history of its leaf
+  (``seed_probes`` lists the inherited witnesses plus every LP witness found
+  by lower-weight tasks, in discovery order), so the rebuilt panel matches
+  the panel a long-lived serial processor would have at that point;
+* the pairwise analysis is shipped verbatim (``pairwise``) once built, so
+  no re-analysis — however deterministic — ever happens twice;
+* results carry the *deltas* (new witnesses, this weight's frontier entry)
+  rather than absolute state, so the scheduler can merge them back in task
+  order and seed the next weight's task identically in serial and parallel
+  runs.
+
+Everything in this module is picklable; the :class:`LeafTaskResult` carries
+its own :class:`~repro.stats.CostCounters` so funnel accounting crosses
+process boundaries losslessly (counters merge by plain addition, which is
+order-independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.halfspace import Halfspace
+from ..quadtree.withinleaf import (
+    LeafCell,
+    LeafReuseState,
+    PairwiseConstraints,
+    WithinLeafProcessor,
+)
+from ..stats import CostCounters
+
+__all__ = ["LeafTask", "LeafTaskResult", "execute_leaf_task"]
+
+
+@dataclass(frozen=True)
+class LeafTask:
+    """One self-contained ``(leaf, weight)`` probe.
+
+    Attributes
+    ----------
+    leaf_key:
+        Opaque key identifying the leaf in the scheduler (results are routed
+        back by this key; workers never interpret it).
+    seq:
+        The leaf's creation sequence number — the deterministic tie-break
+        the scheduler orders tasks by.
+    weight:
+        Hamming weight of the candidate bit-strings to enumerate.
+    lower, upper:
+        Leaf extent in the reduced query space.
+    partial:
+        ``(halfspace_id, halfspace)`` pairs of the leaf's partial-overlap
+        set, in tree insertion order (bit positions follow this order).
+    use_pairwise:
+        Whether pairwise-constraint pruning is enabled for this query.
+    track_frontier:
+        Whether the generation survivors of this weight should be memoised
+        and returned (the scheduler requests this when it keeps a
+        cross-iteration cache).
+    seed_probes:
+        Probe-panel history of the leaf: inherited witness points followed
+        by every LP witness found by this leaf's lower-weight tasks, in
+        discovery order.  ``None`` when the panel is just the default one.
+    seed_state:
+        The :class:`LeafReuseState` harvested when the leaf last grew
+        (partial ids form a prefix of ``partial``'s), or ``None`` for a
+        leaf processed from scratch.  Constant across all weights of one
+        leaf configuration — it feeds the frontier-seeded re-enumeration.
+    pairwise:
+        The pair analysis of exactly this configuration, shipped verbatim
+        once some earlier task built it (``None`` lets the processor build
+        it, reusing ``seed_state.pairwise`` incrementally).
+    """
+
+    leaf_key: int
+    seq: int
+    weight: int
+    lower: np.ndarray
+    upper: np.ndarray
+    partial: Tuple[Tuple[int, Halfspace], ...]
+    use_pairwise: bool = True
+    track_frontier: bool = False
+    seed_probes: Optional[Tuple[np.ndarray, ...]] = None
+    seed_state: Optional[LeafReuseState] = None
+    pairwise: Optional[PairwiseConstraints] = None
+
+
+@dataclass
+class LeafTaskResult:
+    """Outcome of one :class:`LeafTask`, carrying state deltas.
+
+    Attributes
+    ----------
+    leaf_key, weight:
+        Echoed from the task (results are merged strictly in task order, so
+        these exist for routing and asserts, not for reordering).
+    cells:
+        The non-empty cells of the probed weight.
+    witnesses:
+        LP witnesses discovered by *this* task (the delta on top of the
+        shipped ``seed_probes``), in discovery order.
+    frontier:
+        The surviving-prefix frontier entries recorded by this task —
+        ``{weight: survivors-or-None}`` — empty when frontier tracking was
+        off.
+    pairwise:
+        The pair analysis built by this task, or ``None`` when the task was
+        handed one (or never needed one).
+    counters:
+        Worker-local cost counters covering exactly this task's work, or
+        ``None`` when the task ran against the scheduler's own counters.
+    """
+
+    leaf_key: int
+    weight: int
+    cells: List[LeafCell]
+    witnesses: List[np.ndarray]
+    frontier: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]
+    pairwise: Optional[PairwiseConstraints]
+    counters: Optional[CostCounters]
+
+
+def execute_leaf_task(
+    task: LeafTask, counters: Optional[CostCounters] = None
+) -> LeafTaskResult:
+    """Run one leaf task to completion in the current process.
+
+    When ``counters`` is given (the in-process executors pass the
+    scheduler's), all cost accounting goes directly to it and the result's
+    ``counters`` field is ``None``; otherwise a fresh worker-local
+    :class:`CostCounters` is created and returned for the scheduler to
+    merge.
+    """
+    own = CostCounters() if counters is None else counters
+    processor = WithinLeafProcessor(
+        task.lower,
+        task.upper,
+        task.partial,
+        use_pairwise=task.use_pairwise,
+        counters=own,
+        seed_probes=task.seed_probes,
+        seed_state=task.seed_state,
+        track_frontier=task.track_frontier,
+        pairwise=task.pairwise,
+    )
+    cells = processor.cells_at_weight(task.weight)
+    return LeafTaskResult(
+        leaf_key=task.leaf_key,
+        weight=task.weight,
+        cells=cells,
+        witnesses=list(processor.witness_probes()),
+        frontier=processor.frontier_entries(),
+        pairwise=processor.pairwise_constraints if task.pairwise is None else None,
+        counters=own if counters is None else None,
+    )

@@ -24,6 +24,7 @@ import numpy as np
 from ..core.maxrank import maxrank
 from ..core.result import MaxRankResult
 from ..data.dataset import Dataset
+from ..engine.executors import make_executor
 from ..errors import ExperimentError
 from ..index.rstar import RStarTree
 from ..stats import CostCounters
@@ -158,6 +159,7 @@ def run_batch(
     tree: Optional[RStarTree] = None,
     focal_indices: Optional[Sequence[int]] = None,
     focal_strategy: str = "central",
+    jobs: Optional[int] = None,
     **options,
 ) -> BatchResult:
     """Answer ``queries`` MaxRank queries and aggregate their metrics.
@@ -191,6 +193,12 @@ def run_batch(
         Explicit focal records (overrides ``queries``/``seed``).
     focal_strategy:
         Focal-record selection strategy of :func:`select_focal_records`.
+    jobs:
+        Worker processes for the within-leaf execution engine
+        (:mod:`repro.engine`); one process pool is built for the whole
+        batch and shared across its queries.  Only meaningful for the
+        quad-tree algorithms (BA / AA / ``auto`` at ``d ≥ 3``); ignored
+        elsewhere.  Results and counters are bit-identical to serial runs.
     options:
         Extra keyword arguments forwarded to the algorithm.
 
@@ -220,26 +228,37 @@ def run_batch(
         tau=tau,
         tree_build_seconds=tree_build_seconds,
     )
-    for focal in focal_indices:
-        counters = CostCounters()
-        result: MaxRankResult = maxrank(
-            dataset,
-            int(focal),
-            algorithm=algorithm,
-            tau=tau,
-            tree=tree,
-            counters=counters,
-            **options,
-        )
-        batch.measurements.append(
-            QueryMeasurement(
-                focal_index=int(focal),
-                k_star=result.k_star,
-                region_count=result.region_count,
-                cpu_seconds=result.cpu_seconds,
-                io_cost=result.io_cost,
-                dominators=result.dominator_count,
-                counters=counters.as_dict(),
+    algorithm_name = algorithm.lower()
+    engine_algorithm = algorithm_name in ("aa", "ba") or (
+        algorithm_name == "auto" and dataset.d >= 3
+    )
+    executor = make_executor(jobs) if engine_algorithm else None
+    if executor is not None:
+        options = dict(options, executor=executor)
+    try:
+        for focal in focal_indices:
+            counters = CostCounters()
+            result: MaxRankResult = maxrank(
+                dataset,
+                int(focal),
+                algorithm=algorithm,
+                tau=tau,
+                tree=tree,
+                counters=counters,
+                **options,
             )
-        )
+            batch.measurements.append(
+                QueryMeasurement(
+                    focal_index=int(focal),
+                    k_star=result.k_star,
+                    region_count=result.region_count,
+                    cpu_seconds=result.cpu_seconds,
+                    io_cost=result.io_cost,
+                    dominators=result.dominator_count,
+                    counters=counters.as_dict(),
+                )
+            )
+    finally:
+        if executor is not None:
+            executor.close()
     return batch

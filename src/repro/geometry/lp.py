@@ -122,8 +122,8 @@ def find_interior_point_arrays(
         counters.lp_calls += 1
 
     if engine == "scipy":
-        return _solve_with_scipy(A, b, norms, lower, upper, min_radius)
-    return _solve_with_seidel(A, b, norms, lower, upper, min_radius)
+        return _solve_with_scipy(A, b, norms, lower, upper, min_radius, counters=counters)
+    return _solve_with_seidel(A, b, norms, lower, upper, min_radius, counters=counters)
 
 
 def _solve_with_seidel(
@@ -133,10 +133,18 @@ def _solve_with_seidel(
     lower: np.ndarray,
     upper: np.ndarray,
     min_radius: float,
+    counters=None,
 ) -> FeasibilityResult:
-    """Max-slack feasibility via the library's Seidel LP solver."""
+    """Max-slack feasibility via the library's Seidel LP solver.
+
+    The constraint-row tally goes to ``counters.lp_constraint_rows`` (when
+    counters are supplied) rather than any solver-local state, so the
+    accounting survives execution on worker processes and merges exactly.
+    """
     dim = int(lower.shape[0])
     max_slack = float(np.max(upper - lower))
+    if counters is not None:
+        counters.lp_constraint_rows += A.shape[0] + 2 * dim
     constraints = []
     # a · x - ||a|| t >= b   ->   -a · x + ||a|| t <= -b
     for row, offset, norm in zip(A, b, norms):
@@ -173,11 +181,14 @@ def _solve_with_scipy(
     lower: np.ndarray,
     upper: np.ndarray,
     min_radius: float,
+    counters=None,
 ) -> FeasibilityResult:
     """Max-slack feasibility via ``scipy.optimize.linprog`` (cross-check engine)."""
     from scipy.optimize import linprog
 
     dim = int(lower.shape[0])
+    if counters is not None:
+        counters.lp_constraint_rows += A.shape[0] + 2 * dim
     n_var = dim + 1
     c = np.zeros(n_var)
     c[-1] = -1.0

@@ -145,10 +145,14 @@ class AugmentedQuadTree:
         :class:`repro.core.aa2d.SortedHalflineArrangement`).
     split_threshold:
         Maximum size of a leaf's partial-overlap set before it splits.
-        ``None`` (default) selects a dimension-aware value: 10 for low
-        dimensions, growing with ``dim`` because splitting a high-dimensional
+        ``None`` (default) selects a dimension-aware value: 10 for ``dim = 2``
+        and roughly ``5·dim`` beyond, because splitting a high-dimensional
         box into ``2^dim`` children rarely reduces the partial set enough to
-        pay for the extra nodes.
+        pay for the extra nodes — while the batched within-leaf engine
+        processes the resulting fatter leaves cheaply (and, with a process
+        pool, in parallel).  Lower thresholds produce finer-grained result
+        regions (cells are reported per leaf fragment); the answer ``k*``
+        and the covered region are unaffected.
     max_depth:
         Depth cap; leaves at this depth grow beyond the threshold instead of
         splitting further.  ``None`` (default) selects a dimension-aware cap
@@ -171,8 +175,19 @@ class AugmentedQuadTree:
                 "the augmented quad-tree requires a reduced space of dimension >= 2"
             )
         if split_threshold is None:
-            if dim <= 5:
-                split_threshold = max(DEFAULT_SPLIT_THRESHOLD, 2 * dim)
+            # The default balances the cost of splitting (2^dim children per
+            # split, cascading — the dominant cost of tree construction at
+            # dim >= 3) against the cost of enumerating the fatter leaves a
+            # higher threshold leaves behind.  With the batched, prefix-pruned
+            # within-leaf engine (and its parallel executors) leaf processing
+            # is no longer the bottleneck, so the threshold grows with the
+            # dimension: the node count of an over-split tree explodes as
+            # O(2^(dim·depth)) while the within-leaf funnel absorbs the
+            # larger partial sets at a fraction of that cost.
+            if dim <= 3:
+                split_threshold = max(DEFAULT_SPLIT_THRESHOLD, 5 * dim)
+            elif dim <= 5:
+                split_threshold = 5 * dim
             else:
                 split_threshold = 4 * dim
         if max_depth is None:
@@ -208,6 +223,13 @@ class AugmentedQuadTree:
         self._offsets: List[float] = []
         self._matrix: Optional[np.ndarray] = None
         self._offset_vec: Optional[np.ndarray] = None
+        #: sign-split coefficient views (positive part, negative part,
+        #: tolerance-shifted offsets), cached alongside the matrix so the
+        #: corner-extreme classifications of splits and bulk inserts slice
+        #: rows instead of recomputing the split per call
+        self._matrix_pos: Optional[np.ndarray] = None
+        self._matrix_neg: Optional[np.ndarray] = None
+        self._offset_tol: Optional[np.ndarray] = None
         # ---- incremental scan index ----
         #: live leaves bucketed by last-known |F_l| (lazily re-validated)
         self._buckets: List[List[QuadTreeNode]] = [[self.root]]
@@ -222,6 +244,17 @@ class AugmentedQuadTree:
     def halfspace(self, halfspace_id: int) -> Halfspace:
         """Return the half-space registered under ``halfspace_id``."""
         return self.halfspaces[halfspace_id]
+
+    def leaf_partial_pairs(self, leaf: "QuadTreeNode") -> Tuple[Tuple[int, Halfspace], ...]:
+        """``(id, half-space)`` pairs of a leaf's partial set, in insertion order.
+
+        This is the half-space payload of a self-contained
+        :class:`~repro.engine.tasks.LeafTask`: together with the leaf box it
+        lets within-leaf processing run in a worker process without the
+        tree.  The order defines the bit positions of the leaf's cell
+        bit-strings, so it must stay the insertion order.
+        """
+        return tuple((hid, self.halfspaces[hid]) for hid in leaf.partial)
 
     def __len__(self) -> int:
         return len(self.halfspaces)
@@ -250,7 +283,33 @@ class AugmentedQuadTree:
         if self._matrix is None:
             self._matrix = np.vstack(self._coef_rows)
             self._offset_vec = np.asarray(self._offsets, dtype=float)
+            self._matrix_pos = np.where(self._matrix > 0, self._matrix, 0.0)
+            self._matrix_neg = self._matrix - self._matrix_pos
+            self._offset_tol = self._offset_vec + _CLASSIFY_TOL
         return self._matrix, self._offset_vec
+
+    def _coef_sign_split(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(A⁺, A⁻, b + tol)`` over every inserted half-space."""
+        if self._matrix is None:
+            self._coef_arrays()
+        return self._matrix_pos, self._matrix_neg, self._offset_tol
+
+    @staticmethod
+    def _child_major_gather(
+        relation: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Group the rows a boolean ``(rows, children)`` relation selects.
+
+        Returns ``(grouped, counts)``: ``grouped`` concatenates, child by
+        child, the entries of ``values`` whose row the child's column
+        selects (row order preserved within a child), and ``counts[j]`` is
+        child ``j``'s group size — so child ``j`` owns the contiguous slice
+        ``grouped[counts[:j].sum() : counts[:j+1].sum()]``.  One ``nonzero``
+        per relation matrix replaces two boolean slices per child in the
+        split/insert redistribution loops.
+        """
+        child_idx, row_idx = np.nonzero(relation.T)
+        return values[row_idx], np.bincount(child_idx, minlength=relation.shape[1])
 
     @staticmethod
     def _outside_simplex(node: "QuadTreeNode") -> bool:
@@ -359,12 +418,11 @@ class AugmentedQuadTree:
         self._matrix = None
         if self.counters is not None:
             self.counters.halfspaces_inserted += len(ids)
-        A, b = self._coef_arrays()
+        Apos_all, Aneg_all, btol_all = self._coef_sign_split()
         id_arr = np.asarray(ids, dtype=np.intp)
-        A_new = A[id_arr]
-        b_new = b[id_arr] + _CLASSIFY_TOL
-        Apos = np.where(A_new > 0, A_new, 0.0)
-        Aneg = A_new - Apos
+        Apos = Apos_all[id_arr]
+        Aneg = Aneg_all[id_arr]
+        b_new = btol_all[id_arr]
 
         root = self.root
         root_min = Apos @ root.lower + Aneg @ root.upper
@@ -401,11 +459,19 @@ class AugmentedQuadTree:
             contains = min_vals > b_rows
             disjoint = max_vals <= b_rows
             overlaps = ~(contains | disjoint)
+            contained, c_counts = self._child_major_gather(contains, id_arr[rows])
+            contained_ids = contained.tolist()
+            sub_rows, o_counts = self._child_major_gather(overlaps, rows)
+            c_off = o_off = 0
             for j, child in enumerate(children):
-                child.containment.extend(id_arr[rows[contains[:, j]]].tolist())
-                sub = rows[overlaps[:, j]]
-                if sub.size:
-                    stack.append((child, sub))
+                c_end = c_off + int(c_counts[j])
+                if c_end > c_off:
+                    child.containment.extend(contained_ids[c_off:c_end])
+                c_off = c_end
+                o_end = o_off + int(o_counts[j])
+                if o_end > o_off:
+                    stack.append((child, sub_rows[o_off:o_end]))
+                o_off = o_end
         return ids
 
     def replace(self, halfspace_id: int, halfspace: Halfspace) -> None:
@@ -465,16 +531,29 @@ class AugmentedQuadTree:
                     stack.append(child)
 
     def _split(self, node: QuadTreeNode) -> None:
-        """Split a leaf into ``2^dim`` children and redistribute its partial set."""
+        """Split a leaf into ``2^dim`` children and redistribute its partial set.
+
+        The cascade is the dominant cost of building the tree at ``d ≥ 4``
+        (tens of thousands of splits per query), so the body is array-level
+        end to end: the corner extremes of all pending half-spaces over all
+        child boxes come from two matrix products, the per-child id lists
+        from one child-major ``nonzero`` gather per relation matrix (instead
+        of two boolean slices per child), and the ``|F_l|`` priorities are
+        carried incrementally through the cascade instead of walking the
+        ancestor chain per split.  The produced tree — node order, sequence
+        numbers, list contents and their order — is identical to the
+        straightforward per-child version it replaced.
+        """
         masks = self._corner_masks
-        pending_split = [node]
+        pending_split: List[Tuple[QuadTreeNode, int]] = [(node, node.full_count())]
+        threshold = self.split_threshold
+        max_depth = self.max_depth
         while pending_split:
-            current = pending_split.pop()
+            current, parent_priority = pending_split.pop()
             centre = (current.lower + current.upper) / 2.0
             child_lowers = np.where(masks, centre, current.lower)
             child_uppers = np.where(masks, current.upper, centre)
             inside = child_lowers.sum(axis=1) < 1.0
-            parent_priority = current.full_count()
             children: List[QuadTreeNode] = []
             seq = self._node_seq
             depth = current.depth + 1
@@ -505,27 +584,37 @@ class AugmentedQuadTree:
                 continue
             # Vectorised redistribution: corner extremes of every pending
             # half-space over every child box via two matrix products each.
-            A, b = self._coef_arrays()
+            Apos_all, Aneg_all, btol_all = self._coef_sign_split()
             pending_arr = np.asarray(pending, dtype=np.intp)
-            A_pending = A[pending_arr]
-            b_pending = b[pending_arr] + _CLASSIFY_TOL
-            Apos = np.where(A_pending > 0, A_pending, 0.0)
-            Aneg = A_pending - Apos
+            Apos = Apos_all[pending_arr]
+            Aneg = Aneg_all[pending_arr]
+            b_pending = btol_all[pending_arr]
             min_vals = Apos @ child_lowers.T + Aneg @ child_uppers.T
             max_vals = Apos @ child_uppers.T + Aneg @ child_lowers.T
             contains = min_vals > b_pending[:, None]
             disjoint = max_vals <= b_pending[:, None]
             overlaps = ~(contains | disjoint)
+            contained, c_counts = self._child_major_gather(contains, pending_arr)
+            contained_ids = contained.tolist()
+            overlap, o_counts = self._child_major_gather(overlaps, pending_arr)
+            overlap_ids = overlap.tolist()
+            track = self._track_dirty
+            c_off = o_off = 0
             for j, child in enumerate(children):
-                child.containment.extend(pending_arr[contains[:, j]].tolist())
-                child.partial.extend(pending_arr[overlaps[:, j]].tolist())
-                if child.partial and self._track_dirty:
-                    self._dirty_leaves.add(id(child))
-                if (
-                    len(child.partial) > self.split_threshold
-                    and child.depth < self.max_depth
-                ):
-                    pending_split.append(child)
+                c_end = c_off + int(c_counts[j])
+                if c_end > c_off:
+                    child.containment.extend(contained_ids[c_off:c_end])
+                c_off = c_end
+                o_end = o_off + int(o_counts[j])
+                if o_end > o_off:
+                    child.partial.extend(overlap_ids[o_off:o_end])
+                    if track:
+                        self._dirty_leaves.add(id(child))
+                o_off = o_end
+                if len(child.partial) > threshold and child.depth < max_depth:
+                    pending_split.append(
+                        (child, parent_priority + len(child.containment))
+                    )
                 else:
                     self._file_leaf(child, parent_priority + len(child.containment))
 

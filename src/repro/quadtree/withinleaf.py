@@ -389,6 +389,14 @@ class WithinLeafProcessor:
         can hand them to a replacement processor.  Off by default — only a
         caller that actually caches processors across re-scans (AA's
         ``collect_cells`` with a cache) should pay the bookkeeping.
+    pairwise:
+        A previously built :class:`PairwiseConstraints` for *exactly* this
+        partial-id list and leaf box, adopted verbatim instead of being
+        rebuilt.  Used by the execution engine when a leaf's processor is
+        reconstructed per :class:`~repro.engine.tasks.LeafTask` (each weight
+        runs in a fresh — possibly remote — processor, but the pair analysis
+        is deterministic, so shipping it skips the recomputation without
+        changing any decision).  Ignored when the id list does not match.
     """
 
     def __init__(
@@ -403,6 +411,7 @@ class WithinLeafProcessor:
         seed_probes: Optional[Sequence[np.ndarray]] = None,
         seed_state: Optional[LeafReuseState] = None,
         track_frontier: bool = False,
+        pairwise: Optional[PairwiseConstraints] = None,
     ) -> None:
         self.lower = np.asarray(lower, dtype=float).ravel()
         self.upper = np.asarray(upper, dtype=float).ravel()
@@ -471,10 +480,20 @@ class WithinLeafProcessor:
         self._probe_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._pairwise: Optional[PairwiseConstraints] = None
         if use_pairwise and len(self.partial) >= pairwise_min_size:
-            self._pairwise = PairwiseConstraints.build(
-                self.partial, self.lower, self.upper, self._base,
-                counters=counters, reuse=reuse_pairwise,
-            )
+            ids = tuple(hid for hid, _ in self.partial)
+            if (
+                pairwise is not None
+                and pairwise._ids == ids
+                and pairwise._lower is not None
+                and np.array_equal(pairwise._lower, self.lower)
+                and np.array_equal(pairwise._upper, self.upper)
+            ):
+                self._pairwise = pairwise
+            else:
+                self._pairwise = PairwiseConstraints.build(
+                    self.partial, self.lower, self.upper, self._base,
+                    counters=counters, reuse=reuse_pairwise,
+                )
 
     def reuse_state(self) -> LeafReuseState:
         """Snapshot of the reusable per-leaf state for a replacement processor.
@@ -488,6 +507,20 @@ class WithinLeafProcessor:
             pairwise=self._pairwise,
             frontier=dict(self._frontier),
         )
+
+    @property
+    def pairwise_constraints(self) -> Optional[PairwiseConstraints]:
+        """The pair analysis in effect (None when disabled or not built)."""
+        return self._pairwise
+
+    def frontier_entries(self) -> Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]:
+        """Generation survivors memoised so far, keyed by weight.
+
+        Entries appear only when the processor was created with
+        ``track_frontier=True``; a ``None`` value marks a weight whose
+        survivor set overflowed :data:`_FRONTIER_CAP`.
+        """
+        return dict(self._frontier)
 
     # --------------------------------------------------------------- plumbing
     def _default_probes(self) -> List[np.ndarray]:

@@ -63,9 +63,21 @@ class CostCounters:
         before any feasibility work (not part of ``cells_examined``).
     lp_calls:
         Linear-programming feasibility calls performed.
+    lp_constraint_rows:
+        Total constraint rows handed to the exact max-slack solves (the
+        size tally of the Seidel layer).  Tracked here — rather than as
+        solver-local state — so it aggregates correctly when leaf tasks run
+        on worker processes and their counters are merged back.
     leaves_processed / leaves_pruned:
         Quad-tree leaves that underwent within-leaf processing vs. leaves
         pruned by the |F_l| bound.
+
+    The object is *mergeable*: :meth:`merge` / ``+=`` add another bundle's
+    counts, timers and page set into this one, and merging is associative
+    and order-independent, which is what lets the execution engine give
+    every worker-side leaf task its own counters and still report one exact
+    per-query funnel.  Counters are picklable, so they cross process
+    boundaries with the task results.
     """
 
     page_reads: int = 0
@@ -80,6 +92,7 @@ class CostCounters:
     screen_rejects: int = 0
     pairwise_pruned: int = 0
     lp_calls: int = 0
+    lp_constraint_rows: int = 0
     leaves_processed: int = 0
     leaves_pruned: int = 0
     skyline_updates: int = 0
@@ -142,6 +155,7 @@ class CostCounters:
             "screen_rejects": self.screen_rejects,
             "pairwise_pruned": self.pairwise_pruned,
             "lp_calls": self.lp_calls,
+            "lp_constraint_rows": self.lp_constraint_rows,
             "leaves_processed": self.leaves_processed,
             "leaves_pruned": self.leaves_pruned,
             "skyline_updates": self.skyline_updates,
@@ -165,6 +179,7 @@ class CostCounters:
         self.screen_rejects += other.screen_rejects
         self.pairwise_pruned += other.pairwise_pruned
         self.lp_calls += other.lp_calls
+        self.lp_constraint_rows += other.lp_constraint_rows
         self.leaves_processed += other.leaves_processed
         self.leaves_pruned += other.leaves_pruned
         self.skyline_updates += other.skyline_updates
@@ -172,6 +187,18 @@ class CostCounters:
         self._seen_pages.update(other._seen_pages)
         for name, seconds in other._timers.items():
             self._timers[name] = self._timers.get(name, 0.0) + seconds
+
+    def __iadd__(self, other: "CostCounters") -> "CostCounters":
+        """``counters += other`` — alias of :meth:`merge`."""
+        self.merge(other)
+        return self
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle support: drop in-flight timer starts (not meaningful
+        across processes); everything else round-trips verbatim."""
+        state = dict(self.__dict__)
+        state["_timer_starts"] = {}
+        return state
 
     def reset(self) -> None:
         """Zero every counter and timer."""

@@ -1,0 +1,319 @@
+"""Execution-engine tests: executor equivalence, picklability, counter merging.
+
+The engine's contract is that every executor — the in-process serial path,
+the self-contained task path, and the process pool — produces *bit-identical*
+results and cost counters for the same query.  These tests pin that contract
+on small fig8/fig9-style workloads (including the AA re-scan machinery, which
+round-trips reuse state through task snapshots), check that every object a
+task ships across a process boundary pickles faithfully, and cover the
+mergeability of :class:`repro.stats.CostCounters`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import CostCounters, generate
+from repro.core.aa import aa_maxrank
+from repro.core.ba import ba_maxrank
+from repro.engine import (
+    InlineTaskExecutor,
+    LeafTask,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    execute_leaf_task,
+    make_executor,
+)
+from repro.geometry.halfspace import Halfspace, halfspace_for_record
+from repro.quadtree.withinleaf import (
+    LeafReuseState,
+    PairwiseConstraints,
+    WithinLeafProcessor,
+)
+
+
+def _fingerprint(result, counters):
+    """Everything that must match bit-for-bit across executors."""
+    return {
+        "k_star": result.k_star,
+        "region_count": result.region_count,
+        "orders": [region.cell_order for region in result.regions],
+        "points": [region.representative_query().tobytes() for region in result.regions],
+        "counters": {
+            name: value
+            for name, value in counters.as_dict().items()
+            if not name.startswith("time_")
+        },
+    }
+
+
+def _run(algorithm, dataset, focal, executor, tau=0):
+    counters = CostCounters()
+    run = aa_maxrank if algorithm == "aa" else ba_maxrank
+    result = run(dataset, focal, tau=tau, counters=counters, executor=executor)
+    return _fingerprint(result, counters)
+
+
+class TestExecutorEquivalence:
+    """Serial, task-path and pool runs must be indistinguishable."""
+
+    # (algorithm, distribution, n, d, focal, tau) — small cuts of the
+    # fig8 (cardinality) and fig9 (dimensionality) benchmark workloads.
+    CASES = [
+        ("aa", "IND", 300, 4, 7, 0),     # fig9 d=4
+        ("aa", "IND", 120, 5, 11, 0),    # fig9 d=5
+        ("aa", "ANTI", 250, 4, 3, 0),    # fig8 ANTI: many AA re-scans
+        ("aa", "IND", 150, 4, 9, 1),     # iMaxRank slack
+        ("ba", "IND", 150, 4, 13, 0),    # BA single scan
+    ]
+
+    @pytest.mark.parametrize("algorithm,dist,n,d,focal,tau", CASES)
+    def test_task_path_matches_serial(self, algorithm, dist, n, d, focal, tau):
+        dataset = generate(dist, n, d, seed=0)
+        serial = _run(algorithm, dataset, focal, None, tau=tau)
+        task = _run(algorithm, dataset, focal, InlineTaskExecutor(), tau=tau)
+        assert task == serial
+
+    def test_process_pool_matches_serial(self):
+        dataset = generate("IND", 300, 4, seed=0)
+        serial = _run("aa", dataset, 7, None)
+        with ProcessPoolExecutor(2) as pool:
+            parallel = _run("aa", dataset, 7, pool)
+        assert parallel == serial
+
+    def test_process_pool_matches_serial_on_rescan_heavy_workload(self):
+        dataset = generate("ANTI", 200, 4, seed=1)
+        serial = _run("aa", dataset, 3, None)
+        with ProcessPoolExecutor(2) as pool:
+            parallel = _run("aa", dataset, 3, pool)
+        assert parallel == serial
+
+    def test_pool_is_reusable_across_queries(self):
+        dataset = generate("IND", 200, 4, seed=2)
+        with ProcessPoolExecutor(2) as pool:
+            for focal in (3, 5):
+                serial = _run("aa", dataset, focal, None)
+                parallel = _run("aa", dataset, focal, pool)
+                assert parallel == serial
+
+    def test_serial_executor_object_matches_default(self):
+        dataset = generate("IND", 150, 4, seed=3)
+        assert _run("aa", dataset, 5, SerialExecutor()) == _run(
+            "aa", dataset, 5, None
+        )
+
+    def test_jobs_facade(self):
+        from repro import maxrank
+
+        dataset = generate("IND", 150, 4, seed=4)
+        serial = maxrank(dataset, 5)
+        parallel = maxrank(dataset, 5, jobs=2)
+        assert parallel.k_star == serial.k_star
+        assert parallel.region_count == serial.region_count
+
+    def test_make_executor(self):
+        assert make_executor(None) is None
+        assert make_executor(1) is None
+        pool = make_executor(3)
+        assert isinstance(pool, ProcessPoolExecutor) and pool.jobs == 3
+        pool.close()
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(0)
+
+
+def _sample_task(track_frontier=True):
+    """A realistic picklable task built from actual half-space geometry."""
+    focal = np.array([0.5, 0.5, 0.5, 0.5])
+    rng = np.random.default_rng(7)
+    partial = []
+    for record_id in range(8):
+        record = rng.uniform(0.2, 0.8, size=4)
+        record[0] = 0.9  # keep the record incomparable to the focal point
+        record[1] = 0.1
+        partial.append(
+            (record_id, halfspace_for_record(record, focal, record_id=record_id))
+        )
+    lower = np.zeros(3)
+    upper = np.full(3, 0.5)
+    return LeafTask(
+        leaf_key=123,
+        seq=4,
+        weight=1,
+        lower=lower,
+        upper=upper,
+        partial=tuple(partial),
+        track_frontier=track_frontier,
+    )
+
+
+class TestPicklability:
+    """Everything a task ships across process boundaries must round-trip."""
+
+    def test_halfspace_roundtrip(self):
+        h = Halfspace([0.25, -1.5, 0.5], 0.125, record_id=9, augmented=True)
+        clone = pickle.loads(pickle.dumps(h))
+        assert np.array_equal(clone.coefficients, h.coefficients)
+        assert clone.offset == h.offset
+        assert clone.record_id == h.record_id
+        assert clone.augmented is h.augmented
+
+    def test_leaf_task_roundtrip_and_execution(self):
+        task = _sample_task()
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.leaf_key == task.leaf_key
+        assert clone.weight == task.weight
+        assert np.array_equal(clone.lower, task.lower)
+        assert [hid for hid, _ in clone.partial] == [hid for hid, _ in task.partial]
+        original = execute_leaf_task(task)
+        replayed = execute_leaf_task(clone)
+        assert [c.bits for c in replayed.cells] == [c.bits for c in original.cells]
+        for a, b in zip(original.cells, replayed.cells):
+            assert np.array_equal(a.interior_point, b.interior_point)
+        assert original.counters.as_dict() == replayed.counters.as_dict()
+
+    def test_leaf_task_result_roundtrip(self):
+        result = execute_leaf_task(_sample_task())
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.leaf_key == result.leaf_key
+        assert [c.bits for c in clone.cells] == [c.bits for c in result.cells]
+        assert clone.frontier == result.frontier
+        assert clone.counters.as_dict() == result.counters.as_dict()
+
+    def test_leaf_reuse_state_roundtrip(self):
+        task = _sample_task()
+        processor = WithinLeafProcessor(
+            task.lower,
+            task.upper,
+            task.partial,
+            pairwise_min_size=2,
+            track_frontier=True,
+        )
+        processor.cells_at_weight(0)
+        processor.cells_at_weight(1)
+        state = processor.reuse_state()
+        assert isinstance(state, LeafReuseState)
+        assert state.pairwise is not None and len(state.pairwise) >= 0
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.partial_ids == state.partial_ids
+        assert clone.frontier == state.frontier
+        # The cloned pairwise analysis must forbid exactly the same patterns.
+        probe_bits = [tuple(int(b) for b in np.binary_repr(v, len(task.partial)))
+                      for v in range(16)]
+        for bits in probe_bits:
+            assert clone.pairwise.violates(bits) == state.pairwise.violates(bits)
+
+    def test_pairwise_constraints_adopted_verbatim(self):
+        task = _sample_task()
+        first = execute_leaf_task(task)
+        assert isinstance(first.pairwise, PairwiseConstraints) or first.pairwise is None
+        if first.pairwise is None:
+            pytest.skip("leaf too small for a pairwise analysis")
+        shipped = pickle.loads(pickle.dumps(first.pairwise))
+        processor = WithinLeafProcessor(
+            task.lower, task.upper, task.partial, pairwise=shipped
+        )
+        assert processor.pairwise_constraints is shipped
+
+
+class TestCostCountersMerge:
+    """merge() / += must be exact, associative and pickle-safe."""
+
+    @staticmethod
+    def _sample(seed: int) -> CostCounters:
+        rng = np.random.default_rng(seed)
+        counters = CostCounters()
+        for name in (
+            "records_accessed", "halfspaces_inserted", "halfspaces_expanded",
+            "cells_examined", "nonempty_cells", "candidates_generated",
+            "prefixes_cut", "screen_accepts", "screen_rejects",
+            "pairwise_pruned", "lp_calls", "lp_constraint_rows",
+            "leaves_processed", "leaves_pruned", "skyline_updates", "iterations",
+        ):
+            setattr(counters, name, int(rng.integers(0, 1000)))
+        for page in rng.integers(0, 50, size=10):
+            counters.count_page_read(int(page))
+        counters._timers["within_leaf"] = float(rng.uniform(0, 2))
+        return counters
+
+    def test_merge_roundtrip(self):
+        """Splitting work over two bundles and merging equals one bundle."""
+        whole = self._sample(1)
+        whole.merge(self._sample(2))
+        left, right = self._sample(1), self._sample(2)
+        recombined = CostCounters()
+        recombined += left
+        recombined += right
+        assert recombined.as_dict() == whole.as_dict()
+        assert recombined.distinct_page_reads == whole.distinct_page_reads
+
+    def test_merge_is_order_independent(self):
+        a, b, c = self._sample(3), self._sample(4), self._sample(5)
+        forward = CostCounters()
+        forward += a
+        forward += b
+        forward += c
+        backward = CostCounters()
+        backward += c
+        backward += b
+        backward += a
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_pickle_roundtrip_preserves_counts_and_pages(self):
+        counters = self._sample(6)
+        clone = pickle.loads(pickle.dumps(counters))
+        assert clone.as_dict() == counters.as_dict()
+        assert clone.distinct_page_reads == counters.distinct_page_reads
+        # The clone keeps accumulating independently.
+        clone.lp_calls += 1
+        assert clone.lp_calls == counters.lp_calls + 1
+
+    def test_worker_counter_deltas_cover_all_within_leaf_work(self):
+        """A task run with its own counters reports the same totals as one
+        run against a shared bundle — nothing is counted process-locally."""
+        task = _sample_task()
+        isolated = execute_leaf_task(task)
+        shared = CostCounters()
+        execute_leaf_task(task, counters=shared)
+        assert isolated.counters is not None
+        assert isolated.counters.as_dict() == shared.as_dict()
+        assert shared.lp_constraint_rows > 0 or shared.lp_calls == 0
+
+
+class TestEnvironmentOverride:
+    def test_resolve_prefers_explicit_executor(self):
+        from repro.engine import resolve_executor
+
+        explicit = InlineTaskExecutor()
+        assert resolve_executor(explicit) is explicit
+
+    def test_env_forced_pool(self, monkeypatch):
+        """REPRO_JOBS=task forces the self-contained path on plain queries."""
+        from repro.engine import executors
+
+        monkeypatch.setattr(executors, "_env_checked", False)
+        monkeypatch.setattr(executors, "_env_executor", None)
+        monkeypatch.setenv("REPRO_JOBS", "task")
+        try:
+            forced = executors.resolve_executor(None)
+            assert isinstance(forced, InlineTaskExecutor)
+            dataset = generate("IND", 120, 4, seed=5)
+            serial = _run("aa", dataset, 3, SerialExecutor())
+            routed = _run("aa", dataset, 3, None)  # picks up the env executor
+            assert routed == serial
+        finally:
+            monkeypatch.setattr(executors, "_env_checked", False)
+            monkeypatch.setattr(executors, "_env_executor", None)
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        from repro.engine import executors
+
+        monkeypatch.setattr(executors, "_env_checked", False)
+        monkeypatch.setattr(executors, "_env_executor", None)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            executors.resolve_executor(None)
+        monkeypatch.setattr(executors, "_env_checked", False)
+        monkeypatch.setattr(executors, "_env_executor", None)

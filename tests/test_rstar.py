@@ -38,6 +38,40 @@ class TestConstruction:
             if not node.is_leaf:
                 stack.extend(node.entries)
 
+    def test_str_leaf_packing_fill_and_mbr_consistency(self):
+        """STR packs leaves near capacity; precomputed leaf MBRs/counts are exact."""
+        data = generate_independent(1000, 4, seed=9)
+        tree = RStarTree.build(data.records, max_entries=16)
+        leaves = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves.append(node)
+            else:
+                stack.extend(node.entries)
+        fills = [len(leaf.entries) for leaf in leaves]
+        assert sum(fills) == 1000
+        assert np.mean(fills) >= 0.5 * 16  # STR leaves are densely packed
+        for leaf in leaves:
+            points = np.vstack([entry.point for entry in leaf.entries])
+            assert np.array_equal(leaf.mbr.lower, points.min(axis=0))
+            assert np.array_equal(leaf.mbr.upper, points.max(axis=0))
+            assert leaf.count == len(leaf.entries)
+
+    def test_bulk_and_insert_trees_give_identical_bbs_skylines(self):
+        """The STR-packed tree must not change what BBS computes (only how
+        fast): the skyline of the bulk-loaded and the insertion-built tree
+        over the same records must be the same record set."""
+        from repro.skyline.bbs import IncrementalSkyline
+
+        data = generate_independent(400, 3, seed=11)
+        bulk = RStarTree.build(data.records, max_entries=10)
+        inserted = RStarTree.build(data.records, method="insert", max_entries=10)
+        bulk_skyline = {m.record_id for m in IncrementalSkyline(bulk).compute()}
+        insert_skyline = {m.record_id for m in IncrementalSkyline(inserted).compute()}
+        assert bulk_skyline == insert_skyline
+
     def test_mbrs_contain_children(self):
         data = generate_independent(400, 3, seed=3)
         tree = RStarTree.build(data.records, max_entries=12)
