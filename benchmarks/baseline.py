@@ -37,6 +37,15 @@ Modes
     path — same results, same funnel counters — so ``--compare --jobs N``
     checks the parallel path against the committed *serial* baseline and
     must pass the same fingerprint and counter gates.
+``--engine planar|generic``
+    A/B switch for the ``d = 3`` configurations: force the planar-arrangement
+    sweep or the generic combinatorial generator (the default is the
+    auto-dispatch, i.e. planar at ``d = 3``).  Results are bit-identical, so
+    ``--compare --engine planar`` stays sound; ``--engine generic`` exists to
+    quantify what the sweep saves.  ANTI ``d = 3`` configurations are skipped
+    under ``--engine generic`` — the combinatorial enumeration is infeasible
+    there (hours instead of sub-second), which is precisely the blow-up the
+    planar engine removes.
 
 The workload matrix is intentionally frozen: the ``--compare`` mode is only
 sound when both sides ran identical configurations.
@@ -87,15 +96,25 @@ class BenchConfig:
     d: int
     queries: int
     quick: bool = False
+    tau: int = 0
 
 
 CONFIGS: List[BenchConfig] = [
     BenchConfig("quick/fig9/d=4", "IND", 150, 4, 1, quick=True),
+    BenchConfig("fig9/d=3", "IND", 400, 3, 2, quick=True),
     BenchConfig("fig9/d=4", "IND", 300, 4, 2, quick=True),
     BenchConfig("fig9/d=5", "IND", 300, 5, 1),
     BenchConfig("fig8/IND/n=600", "IND", 600, 4, 2),
     BenchConfig("fig8/COR/n=600", "COR", 600, 4, 2),
     BenchConfig("fig8/ANTI/n=600", "ANTI", 600, 4, 2),
+    # d = 3 on anticorrelated data: the depth-capped fat leaves make the
+    # combinatorial within-leaf enumeration infeasible (>500 s per batch);
+    # only the planar sweep keeps this configuration sub-second, which is
+    # why it is in the committed matrix.
+    BenchConfig("fig8/ANTI/d=3", "ANTI", 600, 3, 2),
+    # iMaxRank at d = 3: tau widens the explored Hamming weights, the
+    # regime where the planar sweep replaces the C(m, w) enumeration.
+    BenchConfig("fig10/d=3/tau=3", "IND", 400, 3, 2, tau=3),
 ]
 
 #: Work counters whose regression fails a --compare run.  They are
@@ -104,7 +123,13 @@ CONFIGS: List[BenchConfig] = [
 #: ``candidates_generated`` guards the generation volume of the
 #: prefix-pruned DFS: a change that re-materialises pruned candidates fails
 #: here even when wall-clock happens to absorb it.
-WORK_COUNTERS = ("lp_calls", "cells_examined", "candidates_generated")
+WORK_COUNTERS = (
+    "lp_calls",
+    "cells_examined",
+    "candidates_generated",
+    "lines_inserted",
+    "faces_enumerated",
+)
 
 
 def calibrate(rounds: int = 1500, repeats: int = 3) -> float:
@@ -137,19 +162,30 @@ def calibrate(rounds: int = 1500, repeats: int = 3) -> float:
     return best
 
 
-def run_config(config: BenchConfig, jobs: Optional[int] = None) -> Dict[str, object]:
+def run_config(
+    config: BenchConfig,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, object]:
     """Execute one configuration and return its measurement record."""
     dataset = generate(config.distribution, config.n, config.d, seed=0)
     tree = RStarTree.build(dataset.records)
+    options: Dict[str, object] = {}
+    if config.d == 3:
+        # The engine switch only exists for the d = 3 quad-tree path; the
+        # default (None) is the facade's auto-dispatch, i.e. planar.
+        options["engine"] = engine or "auto"
     start = time.perf_counter()
     batch = run_batch(
         dataset,
         algorithm="aa",
         queries=config.queries,
         seed=0,
+        tau=config.tau,
         tree=tree,
         label=config.key,
         jobs=jobs,
+        **options,
     )
     wall = time.perf_counter() - start
     measurements = batch.measurements
@@ -172,18 +208,28 @@ def run_config(config: BenchConfig, jobs: Optional[int] = None) -> Dict[str, obj
         "pairwise_pruned": int(counters.get("pairwise_pruned", 0)),
         "screen_accepts": int(counters.get("screen_accepts", 0)),
         "screen_rejects": int(counters.get("screen_rejects", 0)),
+        "lines_inserted": int(counters.get("lines_inserted", 0)),
+        "faces_enumerated": int(counters.get("faces_enumerated", 0)),
         "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
     }
 
 
-def run_matrix(quick: bool, jobs: Optional[int] = None) -> Dict[str, Dict[str, object]]:
+def run_matrix(
+    quick: bool,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, Dict[str, object]]:
     """Run the (possibly restricted) workload matrix."""
     results: Dict[str, Dict[str, object]] = {}
     for config in CONFIGS:
         if quick and not config.quick:
             continue
+        if engine == "generic" and config.d == 3 and config.distribution == "ANTI":
+            print(f"skipping {config.key}: the generic engine is infeasible on "
+                  f"anticorrelated d=3 leaves (use the planar engine)", flush=True)
+            continue
         print(f"running {config.key} ...", flush=True)
-        results[config.key] = run_config(config, jobs=jobs)
+        results[config.key] = run_config(config, jobs=jobs, engine=engine)
     return results
 
 
@@ -310,14 +356,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="process-pool workers for the within-leaf execution "
                              "engine (results and counters stay bit-identical to "
                              "serial, so --compare remains sound)")
+    parser.add_argument("--engine", choices=("planar", "generic"), default=None,
+                        help="A/B switch for the d=3 configurations: force the "
+                             "planar sweep or the generic combinatorial generator "
+                             "(default: auto-dispatch, i.e. planar at d=3). "
+                             "Results are bit-identical; ANTI d=3 configs are "
+                             "skipped under 'generic' (infeasible)")
     args = parser.parse_args(argv)
     if args.update and args.jobs and args.jobs > 1:
         parser.error("--update records the serial baseline; drop --jobs")
+    if args.update and args.engine == "generic":
+        parser.error("--update records the auto-dispatch engine; drop --engine")
+    if args.compare and args.engine == "generic":
+        parser.error("--compare gates counters against the committed planar-"
+                     "engine baseline; --engine generic is for A/B timing runs "
+                     "(no --compare)")
 
     calibration = calibrate()
     print(f"calibration: {calibration:.3f}s"
-          + (f", jobs: {args.jobs}" if args.jobs else ""))
-    results = run_matrix(quick=args.quick, jobs=args.jobs)
+          + (f", jobs: {args.jobs}" if args.jobs else "")
+          + (f", engine: {args.engine}" if args.engine else ""))
+    results = run_matrix(quick=args.quick, jobs=args.jobs, engine=args.engine)
     print_report(results)
 
     status = 0

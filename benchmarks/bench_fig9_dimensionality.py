@@ -8,8 +8,15 @@ AA remaining far cheaper than BA at every dimensionality where BA finishes.
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
+
+from repro import generate, maxrank
 from repro.experiments import format_table
 from repro.experiments.figures import run_fig9_dimensionality
+from repro.experiments.harness import select_focal_records
+from repro.index.rstar import RStarTree
 
 
 def test_fig9_dimensionality(benchmark, scale):
@@ -28,3 +35,39 @@ def test_fig9_dimensionality(benchmark, scale):
     # Shape check: |T| grows with dimensionality for the advanced approach.
     by_d = {row["d"]: row["regions"] for row in aa_like}
     assert by_d[dims[-1]] >= by_d[dims[0]]
+
+
+def test_fig9_d3_engine_ab():
+    """A/B of the d = 3 within-leaf engines: planar sweep vs generic.
+
+    The two engines must be bit-identical (same ``k*``, same regions, same
+    representative points); only the candidate-examination volume — and on
+    fat-leaf workloads the wall-clock — differs.  The printed table records
+    the comparison; the assertions pin the equivalence on every run.
+    """
+    dataset = generate("IND", 400, 3, seed=0)
+    tree = RStarTree.build(dataset.records)
+    focals = select_focal_records(dataset, 2, seed=0)
+    rows = []
+    results = {}
+    for engine in ("planar", "generic"):
+        start = time.perf_counter()
+        results[engine] = [
+            maxrank(dataset, focal, engine=engine, tau=2, tree=tree)
+            for focal in focals
+        ]
+        rows.append({
+            "engine": engine,
+            "wall_s": time.perf_counter() - start,
+            "k*": "/".join(str(r.k_star) for r in results[engine]),
+            "|T|": "/".join(str(r.region_count) for r in results[engine]),
+        })
+    print()
+    print(format_table(rows, title="Figure 9 — d = 3 engine A/B (IND, tau=2)"))
+    for planar, generic in zip(results["planar"], results["generic"]):
+        assert planar.k_star == generic.k_star
+        assert planar.region_count == generic.region_count
+        for a, b in zip(planar.regions, generic.regions):
+            assert np.array_equal(
+                a.representative_query(), b.representative_query()
+            )

@@ -53,6 +53,7 @@ def aa_maxrank(
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
     use_pairwise: bool = True,
+    use_planar: bool = False,
     executor: Optional[LeafTaskExecutor] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the advanced approach (``d ≥ 3``).
@@ -88,6 +89,12 @@ def aa_maxrank(
         candidate generation, so forbidden bit combinations are never even
         enumerated.  Ablation A1 in ``benchmarks/`` quantifies the
         trade-off.
+    use_planar:
+        Enable the planar-arrangement sweep inside leaves (``d = 3`` only;
+        see :func:`repro.core.aa3d.aa3d_maxrank` and
+        :mod:`repro.geometry.planar`).  Results are bit-identical to the
+        generic path.  Off by default — the :func:`repro.core.maxrank.maxrank`
+        façade switches it on automatically at ``d = 3``.
     executor:
         Optional :class:`~repro.engine.executors.LeafTaskExecutor` running
         the independent within-leaf probes of each scan level (e.g. a
@@ -182,6 +189,7 @@ def aa_maxrank(
                 quadtree,
                 tau=tau,
                 use_pairwise=use_pairwise,
+                use_planar=use_planar,
                 counters=counters,
                 cache=leaf_cache,
                 executor=executor,

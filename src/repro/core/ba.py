@@ -41,6 +41,7 @@ def ba_maxrank(
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
     use_pairwise: bool = True,
+    use_planar: bool = False,
     executor: Optional[LeafTaskExecutor] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the basic approach (``d ≥ 3``).
@@ -70,6 +71,11 @@ def ba_maxrank(
         by default: the LP-free pair analysis compiles into conflict
         bitmasks that stop forbidden candidate bit-strings from ever being
         generated.
+    use_planar:
+        Enable the planar-arrangement sweep inside leaves (``d = 3`` only;
+        see :mod:`repro.geometry.planar`).  Bit-identical results; the
+        :func:`repro.core.maxrank.maxrank` façade switches it on
+        automatically at ``d = 3``.
     executor:
         Optional :class:`~repro.engine.executors.LeafTaskExecutor` running
         the independent within-leaf probes of each scan level (e.g. a
@@ -133,6 +139,7 @@ def ba_maxrank(
             quadtree,
             tau=tau,
             use_pairwise=use_pairwise,
+            use_planar=use_planar,
             counters=counters,
             executor=executor,
         )

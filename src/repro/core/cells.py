@@ -46,7 +46,7 @@ parallel runs reproduce the serial results and cost reports exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
@@ -112,11 +112,13 @@ class _LeafScanState:
         "upper",
         "partial_pairs",
         "use_pairwise",
+        "use_planar",
         "track_frontier",
         "seed_probes",
         "seed_state",
         "witnesses",
         "pairwise",
+        "planar",
         "frontier",
     )
 
@@ -126,6 +128,7 @@ class _LeafScanState:
         partial_pairs: Tuple[Tuple[int, Halfspace], ...],
         *,
         use_pairwise: bool,
+        use_planar: bool,
         seed_probes: Optional[List[np.ndarray]],
         seed_state: Optional[LeafReuseState],
         track_frontier: bool,
@@ -145,6 +148,7 @@ class _LeafScanState:
                 seed_probes=seed_probes,
                 seed_state=seed_state,
                 track_frontier=track_frontier,
+                use_planar=use_planar,
             )
             return
         self.processor = None
@@ -152,6 +156,7 @@ class _LeafScanState:
         self.upper = leaf.upper
         self.partial_pairs = partial_pairs
         self.use_pairwise = use_pairwise
+        self.use_planar = use_planar
         self.track_frontier = track_frontier
         #: probe-panel history shipped to every task: harvested seeds first,
         #: then LP witnesses in discovery order (mirrors the live panel)
@@ -162,6 +167,9 @@ class _LeafScanState:
         self.seed_state = seed_state
         self.witnesses: List[np.ndarray] = []
         self.pairwise = None
+        #: planar arrangement of this leaf configuration, mirrored from the
+        #: first task that built (or extended) it
+        self.planar = None
         self.frontier: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]] = {}
 
     # ------------------------------------------------------------ execution
@@ -174,6 +182,18 @@ class _LeafScanState:
     def make_task(self, leaf_key: int, weight: int) -> LeafTask:
         """Snapshot the mirror into a self-contained task for ``weight``."""
         probes = self.seed_probes + tuple(self.witnesses)
+        seed_state = self.seed_state
+        if (
+            self.planar is not None
+            and seed_state is not None
+            and seed_state.planar is not None
+        ):
+            # Once some task built (or extended) this configuration's
+            # arrangement, the shipped ``planar`` is adopted verbatim and
+            # the seed's retained arrangement is dead weight — strip it
+            # from the snapshot rather than pickling O(m²) face polygons
+            # twice per task.
+            seed_state = replace(seed_state, planar=None)
         return LeafTask(
             leaf_key=leaf_key,
             seq=self.seq,
@@ -184,8 +204,10 @@ class _LeafScanState:
             use_pairwise=self.use_pairwise,
             track_frontier=self.track_frontier,
             seed_probes=probes if probes else None,
-            seed_state=self.seed_state,
+            seed_state=seed_state,
             pairwise=self.pairwise,
+            use_planar=self.use_planar,
+            planar=self.planar,
         )
 
     def absorb(self, result: LeafTaskResult) -> None:
@@ -195,6 +217,8 @@ class _LeafScanState:
         self.frontier.update(result.frontier)
         if result.pairwise is not None:
             self.pairwise = result.pairwise
+        if result.planar is not None:
+            self.planar = result.planar
 
     # -------------------------------------------------------------- harvest
     def witness_points(self) -> List[np.ndarray]:
@@ -223,6 +247,7 @@ class _LeafScanState:
             partial_ids=tuple(hid for hid, _ in self.partial_pairs),
             pairwise=self.pairwise,
             frontier=dict(self.frontier),
+            planar=self.planar,
         )
 
 
@@ -231,6 +256,7 @@ def collect_cells(
     *,
     tau: int = 0,
     use_pairwise: bool = True,
+    use_planar: bool = False,
     counters: Optional[CostCounters] = None,
     cache: Optional[dict] = None,
     executor: Optional[LeafTaskExecutor] = None,
@@ -266,6 +292,11 @@ def collect_cells(
         through it; ``None`` (or any ``inline`` executor) selects the
         in-process serial path.  All executors produce bit-identical
         results and counters — only wall-clock differs.
+    use_planar:
+        Enable the planar-arrangement sweep inside leaves of a
+        2-dimensional reduced space (the ``d = 3`` fast path; see
+        :mod:`repro.geometry.planar`).  Ignored at other dimensionalities;
+        results are bit-identical either way.
     """
     inline = executor is None or executor.inline
     # Harvest witness and reuse-state seeds from cache entries the tree
@@ -293,6 +324,7 @@ def collect_cells(
             leaf,
             tree.leaf_partial_pairs(leaf),
             use_pairwise=use_pairwise,
+            use_planar=use_planar,
             seed_probes=seed_probes,
             seed_state=seed_state,
             track_frontier=cache is not None,

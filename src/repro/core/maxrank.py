@@ -25,15 +25,22 @@ from ..index.rstar import RStarTree
 from ..stats import CostCounters
 from .aa import aa_maxrank
 from .aa2d import aa2d_maxrank
+from .aa3d import aa3d_maxrank
 from .ba import ba_maxrank
 from .bruteforce import maxrank_exact_small
 from .fca import fca_maxrank
 from .result import MaxRankResult
 
-__all__ = ["maxrank", "imaxrank", "ALGORITHMS"]
+__all__ = ["maxrank", "imaxrank", "ALGORITHMS", "ENGINES"]
 
 #: Selectable algorithm names.
-ALGORITHMS = ("auto", "aa", "aa2d", "ba", "fca", "exact")
+ALGORITHMS = ("auto", "aa", "aa2d", "aa3d", "ba", "fca", "exact")
+
+#: Within-leaf engine names for the quad-tree algorithms at ``d = 3``:
+#: ``"auto"`` dispatches the planar-arrangement sweep, ``"planar"`` forces
+#: it (and requires ``d = 3``), ``"generic"`` is the escape hatch back to
+#: the combinatorial candidate generator.  Results are bit-identical.
+ENGINES = ("auto", "planar", "generic")
 
 
 def maxrank(
@@ -41,6 +48,7 @@ def maxrank(
     focal: Sequence[float] | np.ndarray | int,
     *,
     algorithm: str = "auto",
+    engine: str = "auto",
     tau: int = 0,
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
@@ -67,10 +75,19 @@ def maxrank(
         coordinates (it need not belong to the dataset, enabling the what-if
         analyses of the paper's introduction).
     algorithm:
-        One of ``"auto"``, ``"aa"``, ``"aa2d"``, ``"ba"``, ``"fca"``,
-        ``"exact"``.  ``"auto"`` selects the paper's recommended processing
-        strategy for the dataset's dimensionality: ``aa2d`` for ``d = 2``
-        and ``aa`` for ``d ≥ 3``.
+        One of ``"auto"``, ``"aa"``, ``"aa2d"``, ``"aa3d"``, ``"ba"``,
+        ``"fca"``, ``"exact"``.  ``"auto"`` selects the paper's recommended
+        processing strategy for the dataset's dimensionality: ``aa2d`` for
+        ``d = 2``, ``aa3d`` (the planar-sweep specialisation) for ``d = 3``
+        and ``aa`` for ``d ≥ 4``.
+    engine:
+        Within-leaf engine for the quad-tree algorithms at ``d = 3``:
+        ``"auto"`` (default) dispatches the planar-arrangement sweep,
+        ``"planar"`` forces it (``d = 3`` only), ``"generic"`` is the
+        escape hatch back to the combinatorial candidate generator.  The
+        two engines are bit-identical in results and engine-invariant
+        counters; the flag exists for A/B runs and differential testing.
+        Ignored (after validation) by the non-quad-tree algorithms.
     tau:
         iMaxRank slack ``τ ≥ 0``; regions covering orders up to
         ``k* + tau`` are reported.
@@ -110,15 +127,50 @@ def maxrank(
         raise AlgorithmError(
             f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
         )
+    engine_name = engine.lower()
+    if engine_name not in ENGINES:
+        raise AlgorithmError(
+            f"unknown engine {engine!r}; choose one of {ENGINES}"
+        )
+    if engine_name == "planar" and dataset.d != 3:
+        raise AlgorithmError(
+            f"engine='planar' requires d = 3 (the reduced space must be a "
+            f"plane), got d = {dataset.d}"
+        )
     if name == "auto":
-        name = "aa2d" if dataset.d == 2 else "aa"
+        if dataset.d == 2:
+            name = "aa2d"
+        elif dataset.d == 3 and engine_name != "generic":
+            name = "aa3d"
+        else:
+            name = "aa"
+    if name == "aa3d" and engine_name == "generic":
+        raise AlgorithmError(
+            "algorithm='aa3d' is the planar-sweep specialisation; "
+            "use algorithm='aa' with engine='generic' for the generic path"
+        )
 
     if name == "fca":
         return fca_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
     if name == "aa2d":
         return aa2d_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
-    if name in ("ba", "aa"):
-        run = ba_maxrank if name == "ba" else aa_maxrank
+    if name in ("ba", "aa", "aa3d"):
+        run = {"ba": ba_maxrank, "aa": aa_maxrank, "aa3d": aa3d_maxrank}[name]
+        if "use_planar" in options:
+            # The facade's within-leaf engine knob is ``engine=``; a raw
+            # use_planar here could silently contradict the validated flag
+            # (the algorithm-level entry points accept it directly).
+            raise AlgorithmError(
+                "maxrank() selects the within-leaf engine through engine=; "
+                "pass use_planar only to aa_maxrank/ba_maxrank directly"
+            )
+        if name != "aa3d":
+            # Auto-dispatch: at d = 3 the quad-tree algorithms use the
+            # planar sweep unless the generic escape hatch is pulled.
+            options = dict(
+                options,
+                use_planar=dataset.d == 3 and engine_name != "generic",
+            )
         owned = None
         if jobs is not None and options.get("executor") is None:
             owned = make_executor(jobs)
@@ -140,6 +192,7 @@ def imaxrank(
     tau: int,
     *,
     algorithm: str = "auto",
+    engine: str = "auto",
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
     **options,
@@ -159,6 +212,7 @@ def imaxrank(
         dataset,
         focal,
         algorithm=algorithm,
+        engine=engine,
         tau=tau,
         tree=tree,
         counters=counters,

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..geometry.halfspace import Halfspace
+from ..geometry.planar import PlanarArrangement
 from ..quadtree.withinleaf import (
     LeafCell,
     LeafReuseState,
@@ -90,6 +91,13 @@ class LeafTask:
         The pair analysis of exactly this configuration, shipped verbatim
         once some earlier task built it (``None`` lets the processor build
         it, reusing ``seed_state.pairwise`` incrementally).
+    use_planar:
+        Whether the planar-arrangement sweep is enabled for this query
+        (``d = 3`` fast path; see :mod:`repro.geometry.planar`).
+    planar:
+        The planar arrangement of exactly this configuration, shipped
+        verbatim once some earlier task built it (``None`` lets the
+        processor build it, extending ``seed_state.planar`` incrementally).
     """
 
     leaf_key: int
@@ -103,6 +111,8 @@ class LeafTask:
     seed_probes: Optional[Tuple[np.ndarray, ...]] = None
     seed_state: Optional[LeafReuseState] = None
     pairwise: Optional[PairwiseConstraints] = None
+    use_planar: bool = False
+    planar: Optional[PlanarArrangement] = None
 
 
 @dataclass
@@ -126,6 +136,10 @@ class LeafTaskResult:
     pairwise:
         The pair analysis built by this task, or ``None`` when the task was
         handed one (or never needed one).
+    planar:
+        The planar arrangement built (or incrementally extended) by this
+        task, or ``None`` when the task was handed one or the planar sweep
+        is off.
     counters:
         Worker-local cost counters covering exactly this task's work, or
         ``None`` when the task ran against the scheduler's own counters.
@@ -138,6 +152,7 @@ class LeafTaskResult:
     frontier: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]
     pairwise: Optional[PairwiseConstraints]
     counters: Optional[CostCounters]
+    planar: Optional[PlanarArrangement] = None
 
 
 def execute_leaf_task(
@@ -162,6 +177,8 @@ def execute_leaf_task(
         seed_state=task.seed_state,
         track_frontier=task.track_frontier,
         pairwise=task.pairwise,
+        use_planar=task.use_planar,
+        planar=task.planar,
     )
     cells = processor.cells_at_weight(task.weight)
     return LeafTaskResult(
@@ -172,4 +189,5 @@ def execute_leaf_task(
         frontier=processor.frontier_entries(),
         pairwise=processor.pairwise_constraints if task.pairwise is None else None,
         counters=own if counters is None else None,
+        planar=processor.planar_arrangement if task.planar is None else None,
     )

@@ -229,7 +229,7 @@ def run_batch(
         tree_build_seconds=tree_build_seconds,
     )
     algorithm_name = algorithm.lower()
-    engine_algorithm = algorithm_name in ("aa", "ba") or (
+    engine_algorithm = algorithm_name in ("aa", "aa3d", "ba") or (
         algorithm_name == "auto" and dataset.d >= 3
     )
     executor = make_executor(jobs) if engine_algorithm else None

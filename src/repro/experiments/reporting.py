@@ -113,6 +113,13 @@ def screen_funnel(counters: Mapping[str, float]) -> Dict[str, float]:
         ``screen_resolved / candidates`` — the share of the feasibility
         workload the screens absorbed.  The remainder went to the exact
         Seidel LP (``lp_calls``).
+    ``lines_inserted`` / ``faces_enumerated``
+        Discovery volume of the ``d = 3`` planar sweep (zero elsewhere):
+        half-plane boundary lines inserted into leaf arrangements and the
+        faces those builds enumerated.  The sweep feeds the funnel from the
+        face side — only cover sets of actual faces become candidates, so a
+        large ``faces_enumerated`` with a small ``candidates`` is the planar
+        analogue of a large ``prefixes_cut``.
     """
     pruned = float(counters.get("pairwise_pruned", 0))
     accepts = float(counters.get("screen_accepts", 0))
@@ -131,6 +138,8 @@ def screen_funnel(counters: Mapping[str, float]) -> Dict[str, float]:
         "pairwise_pruned": pruned,
         "screen_accepts": accepts,
         "screen_rejects": rejects,
+        "lines_inserted": float(counters.get("lines_inserted", 0)),
+        "faces_enumerated": float(counters.get("faces_enumerated", 0)),
         "lp_calls": float(counters.get("lp_calls", 0)),
         "screen_resolved": resolved,
         "screen_resolved_ratio": resolved / candidates if candidates else 0.0,

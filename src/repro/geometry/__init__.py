@@ -1,6 +1,7 @@
 """Geometry substrate: half-spaces, polytopes, intervals and LP feasibility."""
 
 from .arrangement import ArrangementCell, enumerate_cells, minimum_order_cells
+from .planar import PlanarArrangement, PlanarFace
 from .clipping import box_polygon, clip_polygon, polygon_area, polygon_centroid
 from .halfspace import (
     BoxRelation,
@@ -27,6 +28,8 @@ __all__ = [
     "FeasibilityResult",
     "find_interior_point",
     "ArrangementCell",
+    "PlanarArrangement",
+    "PlanarFace",
     "enumerate_cells",
     "minimum_order_cells",
     "box_polygon",

@@ -91,6 +91,13 @@ class Halfspace:
         # Plain-float copy used by scalar hot paths (quad-tree classification).
         object.__setattr__(self, "coefficients_t", tuple(float(v) for v in coeffs))
 
+    def __getstate__(self) -> dict:
+        """Pickle without the complement cache (rebuilt lazily; avoids
+        doubling the payload of every shipped half-space)."""
+        state = dict(self.__dict__)
+        state.pop("_complement", None)
+        return state
+
     # ----------------------------------------------------------- basic algebra
     @property
     def dim(self) -> int:
@@ -116,9 +123,28 @@ class Halfspace:
         The complement is represented as ``(-a) · x > (-b)``; boundary points
         are considered part of neither half-space, consistent with the
         paper's ignore-ties convention.
+
+        The result is cached on the instance (and the cache is linked both
+        ways, since negation is exact in floating point): ``complement()`` is
+        called on every oriented clip/constraint construction of the hot
+        within-leaf paths, and re-validating a normal vector that is already
+        known to be valid wasted a measurable share of re-scan time.
         """
-        return Halfspace(-self.coefficients, -self.offset, record_id=self.record_id,
-                         augmented=self.augmented)
+        cached = getattr(self, "_complement", None)
+        if cached is None:
+            cached = Halfspace.__new__(Halfspace)
+            coeffs = -self.coefficients
+            coeffs.setflags(write=False)
+            object.__setattr__(cached, "coefficients", coeffs)
+            object.__setattr__(cached, "offset", -self.offset)
+            object.__setattr__(cached, "record_id", self.record_id)
+            object.__setattr__(cached, "augmented", self.augmented)
+            object.__setattr__(
+                cached, "coefficients_t", tuple(float(v) for v in coeffs)
+            )
+            object.__setattr__(self, "_complement", cached)
+            object.__setattr__(cached, "_complement", self)
+        return cached
 
     def with_flags(self, *, augmented: Optional[bool] = None) -> "Halfspace":
         """Return a copy with the ``augmented`` flag replaced."""

@@ -58,6 +58,20 @@ is a prefix of the new one, so old pair verdicts stay valid verbatim) and
 its surviving-prefix frontier (the generation survivors per weight), so
 re-enumeration only explores extensions of previously surviving prefixes by
 the newly arrived half-spaces.  See :class:`LeafReuseState`.
+
+Planar sweep (``d = 3`` fast path)
+----------------------------------
+When the reduced space is a plane and ``use_planar`` is set, candidate
+generation is replaced wholesale: one incremental
+:class:`~repro.geometry.planar.PlanarArrangement` over
+``leaf box ∩ simplex`` is built per leaf (``O(m²)`` face splits instead of
+``C(m, w)`` clip sequences per weight) and every requested weight reads its
+candidates straight off the faces' cover bitsets.  Each candidate is still
+resolved by the *same* pairwise filter and the *same* exact clipping test as
+the generic path, so the discovered cells — bit-strings, witness centroids,
+``nonempty_cells`` accounting — are bit-identical; only the volume of
+candidates examined shrinks.  AA re-scans retain the arrangement through
+:class:`LeafReuseState` and insert only the newly arrived half-planes.
 """
 
 from __future__ import annotations
@@ -77,6 +91,7 @@ from ..geometry.lp import (
     find_interior_point_arrays,
     screen_cells_batch,
 )
+from ..geometry.planar import PlanarArrangement
 from ..stats import CostCounters
 
 __all__ = ["LeafCell", "LeafReuseState", "WithinLeafProcessor", "PairwiseConstraints"]
@@ -89,6 +104,17 @@ _MAX_PROBES = 192
 #: incremental-rescan frontier; beyond it the frontier is dropped (a rescan
 #: then falls back to a full DFS for that weight).
 _FRONTIER_CAP = 16384
+
+#: Planar-sweep dispatch thresholds (``d = 3`` fast path): the arrangement
+#: is built for a ``(leaf, weight)`` probe only when ``weight >=
+#: _PLANAR_MIN_WEIGHT`` and ``|P_l| >= _PLANAR_MIN_PARTIAL``.  At weights 0
+#: and 1 candidate enumeration is linear in ``|P_l|`` and the per-candidate
+#: clipping test is cheaper than an arrangement build; from weight 2 on the
+#: ``C(m, w)`` volume takes off while the build stays ``O(m²)``.  The rule
+#: depends only on ``(weight, |P_l|)``, so serial and task-mode runs make
+#: identical decisions.
+_PLANAR_MIN_WEIGHT = 2
+_PLANAR_MIN_PARTIAL = 8
 
 
 @dataclass(frozen=True)
@@ -343,11 +369,18 @@ class LeafReuseState:
         :data:`_FRONTIER_CAP`.  Re-enumeration at a weight extends these
         prefixes by the new positions only, instead of re-walking the whole
         assignment tree.
+    planar:
+        The previous processor's planar arrangement (``d = 3`` fast path
+        only; ``None`` otherwise).  When its line ids are a prefix of the
+        new processor's partial ids, the replacement processor copies the
+        retained arrangement and inserts only the newly arrived half-planes
+        instead of rebuilding from scratch.
     """
 
     partial_ids: Tuple[int, ...]
     pairwise: Optional[PairwiseConstraints]
     frontier: Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]
+    planar: Optional[PlanarArrangement] = None
 
 
 class WithinLeafProcessor:
@@ -397,6 +430,18 @@ class WithinLeafProcessor:
         runs in a fresh — possibly remote — processor, but the pair analysis
         is deterministic, so shipping it skips the recomputation without
         changing any decision).  Ignored when the id list does not match.
+    use_planar:
+        Enable the planar-arrangement sweep for the 2-dimensional reduced
+        space (data dimensionality 3): candidates come from the faces of
+        one incremental line arrangement instead of the ``C(m, w)``
+        enumeration.  Ignored for other dimensionalities.  Cell discovery
+        stays bit-identical to the generic path — every candidate passes the
+        same pairwise filter and exact clipping test.
+    planar:
+        A previously built :class:`~repro.geometry.planar.PlanarArrangement`
+        for *exactly* this partial-id list and leaf box, adopted verbatim
+        (the planar analogue of ``pairwise``, shipped by the execution
+        engine).  Ignored when the line-id list does not match.
     """
 
     def __init__(
@@ -412,6 +457,8 @@ class WithinLeafProcessor:
         seed_state: Optional[LeafReuseState] = None,
         track_frontier: bool = False,
         pairwise: Optional[PairwiseConstraints] = None,
+        use_planar: bool = False,
+        planar: Optional[PlanarArrangement] = None,
     ) -> None:
         self.lower = np.asarray(lower, dtype=float).ravel()
         self.upper = np.asarray(upper, dtype=float).ravel()
@@ -456,6 +503,11 @@ class WithinLeafProcessor:
         self._seed_frontier: Optional[
             Tuple[int, Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]]
         ] = None
+        self._use_planar = bool(use_planar) and self.dim == 2
+        self._planar: Optional[PlanarArrangement] = None
+        self._planar_shipped = planar
+        self._planar_seed: Optional[PlanarArrangement] = None
+        self._planar_weights: Optional[Dict[int, List[Tuple[int, ...]]]] = None
         reuse_pairwise: Optional[PairwiseConstraints] = None
         if seed_state is not None:
             ids = tuple(hid for hid, _ in self.partial)
@@ -464,6 +516,7 @@ class WithinLeafProcessor:
                 reuse_pairwise = seed_state.pairwise
                 if seed_state.frontier:
                     self._seed_frontier = (old_m, seed_state.frontier)
+                self._planar_seed = seed_state.planar
         if self.dim == 2:
             self._oriented = [
                 (halfspace, halfspace.complement()) for _, halfspace in self.partial
@@ -506,12 +559,18 @@ class WithinLeafProcessor:
             partial_ids=tuple(hid for hid, _ in self.partial),
             pairwise=self._pairwise,
             frontier=dict(self._frontier),
+            planar=self._planar,
         )
 
     @property
     def pairwise_constraints(self) -> Optional[PairwiseConstraints]:
         """The pair analysis in effect (None when disabled or not built)."""
         return self._pairwise
+
+    @property
+    def planar_arrangement(self) -> Optional[PlanarArrangement]:
+        """The planar arrangement in effect (None when disabled or not built)."""
+        return self._planar
 
     def frontier_entries(self) -> Dict[int, Optional[Tuple[Tuple[int, ...], ...]]]:
         """Generation survivors memoised so far, keyed by weight.
@@ -850,6 +909,66 @@ class WithinLeafProcessor:
             return
         yield from self._dfs_chunks(weight)
 
+    # ----------------------------------------------------------- planar sweep
+    def _ensure_planar(self) -> None:
+        """Build (or adopt, or extend) the leaf's planar arrangement once.
+
+        Resolution order mirrors the pairwise analysis: an arrangement
+        shipped for exactly this configuration is adopted verbatim (no
+        cost counted — it was counted where it was built); a retained
+        arrangement whose line ids form a prefix of the current partial ids
+        is copied and extended by the new half-planes only; otherwise the
+        arrangement is built from scratch.  ``lines_inserted`` and
+        ``faces_enumerated`` are charged exactly once per build/extension,
+        so serial and task-mode runs account identically.
+        """
+        if self._planar_weights is not None:
+            return
+        ids = tuple(hid for hid, _ in self.partial)
+        arrangement: Optional[PlanarArrangement] = None
+        shipped = self._planar_shipped
+        if (
+            shipped is not None
+            and shipped.line_ids == ids
+            and shipped.matches_box(self.lower, self.upper)
+        ):
+            arrangement = shipped
+        if arrangement is None:
+            seed = self._planar_seed
+            if (
+                seed is not None
+                and len(seed.line_ids) <= len(ids)
+                and seed.line_ids == ids[: len(seed.line_ids)]
+                and seed.matches_box(self.lower, self.upper)
+            ):
+                arrangement = seed.copy()
+                arrangement.insert_many(
+                    self.partial[len(seed.line_ids):], counters=self.counters
+                )
+            else:
+                arrangement = PlanarArrangement.for_leaf(
+                    self.lower, self.upper, self._base
+                )
+                arrangement.insert_many(self.partial, counters=self.counters)
+            if self.counters is not None:
+                self.counters.faces_enumerated += arrangement.face_count
+        self._planar = arrangement
+        self._planar_weights = arrangement.positions_by_weight()
+
+    def _cells_at_weight_planar(self, weight: int) -> List[LeafCell]:
+        """Read one weight's candidates off the planar arrangement's faces.
+
+        Every candidate runs through the same pairwise filter and the same
+        exact clipping test (:meth:`_test_cell`) as the generic per-cell
+        path — the arrangement only *discovers* which cover sets can be
+        non-empty, so the emitted cells (and their witness centroids) are
+        bit-identical to the generic enumeration's.
+        """
+        self._ensure_planar()
+        return self._cells_from_candidates(
+            self._planar_weights.get(weight, ()), weight
+        )
+
     def cells_at_weight(self, weight: int) -> List[LeafCell]:
         """All non-empty cells of Hamming weight exactly ``weight``.
 
@@ -857,8 +976,20 @@ class WithinLeafProcessor:
         chunked sign matrices into the screen→LP funnel
         (:func:`repro.geometry.lp.screen_cells_batch`); the funnel interface
         is unchanged from the enumerate-then-filter pipeline it replaced.
+        With ``use_planar`` in the 2-D reduced space, candidates instead
+        come from the faces of the leaf's planar arrangement
+        (:meth:`_cells_at_weight_planar`).
         """
         m = len(self.partial)
+        if (
+            self.dim == 2
+            and self._use_planar
+            and weight >= _PLANAR_MIN_WEIGHT
+            and m >= _PLANAR_MIN_PARTIAL
+        ):
+            if weight > m:
+                return []
+            return self._cells_at_weight_planar(weight)
         if m == 0 or self.dim == 2:
             return self._cells_at_weight_sequential(weight)
         if weight > m:
@@ -924,9 +1055,21 @@ class WithinLeafProcessor:
 
     def _cells_at_weight_sequential(self, weight: int) -> List[LeafCell]:
         """Per-cell path: 2-D clipping and the empty-partial degenerate case."""
+        return self._cells_from_candidates(
+            combinations(range(len(self.partial)), weight), weight
+        )
+
+    def _cells_from_candidates(self, candidates, weight: int) -> List[LeafCell]:
+        """Resolve candidate one-position tuples into non-empty cells.
+
+        The single per-candidate pipeline — pairwise filter, exact
+        emptiness test (:meth:`_test_cell`), :class:`LeafCell` construction
+        and the associated counters — shared by the sequential enumeration
+        and the planar sweep.  Keeping one loop is what guarantees the two
+        engines decide (and account) each candidate identically.
+        """
         cells: List[LeafCell] = []
-        positions = range(len(self.partial))
-        for ones in combinations(positions, weight):
+        for ones in candidates:
             bits = self._bits_for(ones)
             if self._pairwise is not None and self._pairwise.violates(bits):
                 if self.counters is not None:
@@ -939,7 +1082,8 @@ class WithinLeafProcessor:
                 continue
             inside_ids = tuple(self.partial[pos][0] for pos in ones)
             cells.append(
-                LeafCell(bits=bits, inside_ids=inside_ids, p_order=weight, interior_point=point)
+                LeafCell(bits=bits, inside_ids=inside_ids, p_order=weight,
+                         interior_point=point)
             )
         return cells
 

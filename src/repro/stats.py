@@ -61,6 +61,15 @@ class CostCounters:
     pairwise_pruned:
         Candidate bit-strings dismissed by the pairwise binary constraints
         before any feasibility work (not part of ``cells_examined``).
+    lines_inserted:
+        Half-plane boundary lines inserted into planar arrangements by the
+        ``d = 3`` fast path (:mod:`repro.geometry.planar`); counted once per
+        build or incremental extension, never for an arrangement adopted
+        verbatim from a shipped snapshot.
+    faces_enumerated:
+        Faces enumerated by planar-arrangement builds/extensions — the
+        candidate discovery volume of the planar sweep, the counterpart of
+        ``candidates_generated`` for the generic generator.
     lp_calls:
         Linear-programming feasibility calls performed.
     lp_constraint_rows:
@@ -91,6 +100,8 @@ class CostCounters:
     screen_accepts: int = 0
     screen_rejects: int = 0
     pairwise_pruned: int = 0
+    lines_inserted: int = 0
+    faces_enumerated: int = 0
     lp_calls: int = 0
     lp_constraint_rows: int = 0
     leaves_processed: int = 0
@@ -154,6 +165,8 @@ class CostCounters:
             "screen_accepts": self.screen_accepts,
             "screen_rejects": self.screen_rejects,
             "pairwise_pruned": self.pairwise_pruned,
+            "lines_inserted": self.lines_inserted,
+            "faces_enumerated": self.faces_enumerated,
             "lp_calls": self.lp_calls,
             "lp_constraint_rows": self.lp_constraint_rows,
             "leaves_processed": self.leaves_processed,
@@ -178,6 +191,8 @@ class CostCounters:
         self.screen_accepts += other.screen_accepts
         self.screen_rejects += other.screen_rejects
         self.pairwise_pruned += other.pairwise_pruned
+        self.lines_inserted += other.lines_inserted
+        self.faces_enumerated += other.faces_enumerated
         self.lp_calls += other.lp_calls
         self.lp_constraint_rows += other.lp_constraint_rows
         self.leaves_processed += other.leaves_processed

@@ -28,6 +28,7 @@ from repro.engine import (
     make_executor,
 )
 from repro.geometry.halfspace import Halfspace, halfspace_for_record
+from repro.geometry.planar import PlanarArrangement
 from repro.quadtree.withinleaf import (
     LeafReuseState,
     PairwiseConstraints,
@@ -50,10 +51,12 @@ def _fingerprint(result, counters):
     }
 
 
-def _run(algorithm, dataset, focal, executor, tau=0):
+def _run(algorithm, dataset, focal, executor, tau=0, **options):
     counters = CostCounters()
     run = aa_maxrank if algorithm == "aa" else ba_maxrank
-    result = run(dataset, focal, tau=tau, counters=counters, executor=executor)
+    result = run(
+        dataset, focal, tau=tau, counters=counters, executor=executor, **options
+    )
     return _fingerprint(result, counters)
 
 
@@ -124,6 +127,56 @@ class TestExecutorEquivalence:
             ProcessPoolExecutor(0)
 
 
+class TestPlanarEngineExecutors:
+    """The d = 3 planar sweep must stay bit-identical across executors.
+
+    These are the engine-level counterparts of ``tests/test_differential.py``:
+    the planar path ships a :class:`PlanarArrangement` inside its leaf tasks,
+    so the serial, self-contained-task and process-pool runs must produce
+    identical results *and* identical merged counter dicts — including the
+    planar-specific ``lines_inserted`` / ``faces_enumerated`` tallies, which
+    are charged exactly once per arrangement build wherever the build runs.
+    """
+
+    # (distribution, n, focal, tau) — d = 3 cuts with AA re-scans and, for
+    # the tau cases, deep enough weights to engage the arrangement sweep.
+    CASES = [
+        ("IND", 300, 7, 0),
+        ("ANTI", 150, 3, 0),
+        ("IND", 200, 9, 3),
+        ("ANTI", 120, 5, 2),
+    ]
+
+    @pytest.mark.parametrize("dist,n,focal,tau", CASES)
+    def test_task_path_matches_serial(self, dist, n, focal, tau):
+        dataset = generate(dist, n, 3, seed=0)
+        serial = _run("aa", dataset, focal, None, tau=tau, use_planar=True)
+        task = _run(
+            "aa", dataset, focal, InlineTaskExecutor(), tau=tau, use_planar=True
+        )
+        assert task == serial
+
+    def test_process_pool_matches_serial(self):
+        dataset = generate("IND", 250, 3, seed=1)
+        serial = _run("aa", dataset, 5, None, tau=2, use_planar=True)
+        with ProcessPoolExecutor(2) as pool:
+            parallel = _run("aa", dataset, 5, pool, tau=2, use_planar=True)
+        assert parallel == serial
+
+    def test_facade_jobs_matches_serial_at_d3(self):
+        from repro import maxrank
+
+        dataset = generate("ANTI", 150, 3, seed=2)
+        serial = maxrank(dataset, 4, tau=1)
+        parallel = maxrank(dataset, 4, tau=1, jobs=2)
+        assert serial.algorithm == parallel.algorithm == "AA-3D"
+        assert parallel.k_star == serial.k_star
+        assert parallel.region_count == serial.region_count
+        assert [
+            r.representative_query().tobytes() for r in parallel.regions
+        ] == [r.representative_query().tobytes() for r in serial.regions]
+
+
 def _sample_task(track_frontier=True):
     """A realistic picklable task built from actual half-space geometry."""
     focal = np.array([0.5, 0.5, 0.5, 0.5])
@@ -146,6 +199,33 @@ def _sample_task(track_frontier=True):
         upper=upper,
         partial=tuple(partial),
         track_frontier=track_frontier,
+    )
+
+
+def _sample_planar_task(weight=2, planar=None):
+    """A d = 3 (planar-sweep) leaf task over real half-plane geometry."""
+    focal = np.array([0.5, 0.5, 0.5])
+    rng = np.random.default_rng(11)
+    partial = []
+    record_id = 0
+    while len(partial) < 9:
+        record = rng.uniform(0.1, 0.9, size=3)
+        if (record > focal).all() or (record < focal).all():
+            continue
+        partial.append(
+            (record_id, halfspace_for_record(record, focal, record_id=record_id))
+        )
+        record_id += 1
+    return LeafTask(
+        leaf_key=7,
+        seq=2,
+        weight=weight,
+        lower=np.zeros(2),
+        upper=np.ones(2),
+        partial=tuple(partial),
+        track_frontier=True,
+        use_planar=True,
+        planar=planar,
     )
 
 
@@ -205,6 +285,60 @@ class TestPicklability:
         for bits in probe_bits:
             assert clone.pairwise.violates(bits) == state.pairwise.violates(bits)
 
+    def test_planar_task_roundtrip_and_execution(self):
+        task = _sample_planar_task()
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.use_planar is True and clone.planar is None
+        original = execute_leaf_task(task)
+        replayed = execute_leaf_task(clone)
+        assert [c.bits for c in replayed.cells] == [c.bits for c in original.cells]
+        for a, b in zip(original.cells, replayed.cells):
+            assert np.array_equal(a.interior_point, b.interior_point)
+        assert original.counters.as_dict() == replayed.counters.as_dict()
+        assert original.counters.lines_inserted == len(task.partial)
+        assert original.counters.faces_enumerated > 0
+
+    def test_planar_arrangement_roundtrip(self):
+        result = execute_leaf_task(_sample_planar_task())
+        assert isinstance(result.planar, PlanarArrangement)
+        clone = pickle.loads(pickle.dumps(result.planar))
+        assert clone.line_ids == result.planar.line_ids
+        assert clone.face_count == result.planar.face_count
+        assert [f.mask for f in clone.faces()] == [
+            f.mask for f in result.planar.faces()
+        ]
+        for a, b in zip(clone.faces(), result.planar.faces()):
+            assert np.array_equal(a.vertices, b.vertices)
+
+    def test_planar_arrangement_adopted_verbatim(self):
+        first = execute_leaf_task(_sample_planar_task())
+        shipped = pickle.loads(pickle.dumps(first.planar))
+        follow_up = _sample_planar_task(weight=3, planar=shipped)
+        result = execute_leaf_task(follow_up)
+        # The adopted arrangement is not re-built: no lines, no faces charged,
+        # and the result carries no arrangement delta.
+        assert result.counters.lines_inserted == 0
+        assert result.counters.faces_enumerated == 0
+        assert result.planar is None
+        # And the decisions match a from-scratch build exactly.
+        scratch = execute_leaf_task(_sample_planar_task(weight=3))
+        assert [c.bits for c in result.cells] == [c.bits for c in scratch.cells]
+        for a, b in zip(result.cells, scratch.cells):
+            assert np.array_equal(a.interior_point, b.interior_point)
+
+    def test_leaf_reuse_state_ships_the_planar_arrangement(self):
+        task = _sample_planar_task()
+        processor = WithinLeafProcessor(
+            task.lower, task.upper, task.partial,
+            use_planar=True, track_frontier=True,
+        )
+        processor.cells_at_weight(2)
+        state = processor.reuse_state()
+        assert isinstance(state.planar, PlanarArrangement)
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone.planar.line_ids == state.planar.line_ids
+        assert clone.planar.face_count == state.planar.face_count
+
     def test_pairwise_constraints_adopted_verbatim(self):
         task = _sample_task()
         first = execute_leaf_task(task)
@@ -229,7 +363,8 @@ class TestCostCountersMerge:
             "records_accessed", "halfspaces_inserted", "halfspaces_expanded",
             "cells_examined", "nonempty_cells", "candidates_generated",
             "prefixes_cut", "screen_accepts", "screen_rejects",
-            "pairwise_pruned", "lp_calls", "lp_constraint_rows",
+            "pairwise_pruned", "lines_inserted", "faces_enumerated",
+            "lp_calls", "lp_constraint_rows",
             "leaves_processed", "leaves_pruned", "skyline_updates", "iterations",
         ):
             setattr(counters, name, int(rng.integers(0, 1000)))

@@ -25,9 +25,33 @@ class TestFacadeDispatch:
         result = maxrank(small_2d, 0)
         assert result.algorithm == "AA-2D"
 
-    def test_auto_selects_aa_for_higher_dimensions(self, small_3d):
+    def test_auto_selects_aa3d_for_three_dimensions(self, small_3d):
         result = maxrank(small_3d, 0)
+        assert result.algorithm == "AA-3D"
+
+    def test_auto_selects_aa_for_higher_dimensions(self):
+        data = generate_independent(40, 4, seed=3)
+        result = maxrank(data, 0)
         assert result.algorithm == "AA"
+
+    def test_generic_engine_escape_hatch(self, small_3d):
+        generic = maxrank(small_3d, 0, engine="generic")
+        assert generic.algorithm == "AA"
+        auto = maxrank(small_3d, 0)
+        assert auto.k_star == generic.k_star
+        assert auto.region_count == generic.region_count
+
+    def test_planar_engine_requires_d3(self, small_2d):
+        with pytest.raises(AlgorithmError):
+            maxrank(small_2d, 0, engine="planar")
+
+    def test_aa3d_rejects_generic_engine(self, small_3d):
+        with pytest.raises(AlgorithmError):
+            maxrank(small_3d, 0, algorithm="aa3d", engine="generic")
+
+    def test_unknown_engine_rejected(self, small_3d):
+        with pytest.raises(AlgorithmError):
+            maxrank(small_3d, 0, engine="warp")
 
     @pytest.mark.parametrize("name, expected", [
         ("fca", "FCA"), ("aa2d", "AA-2D"),
@@ -36,7 +60,7 @@ class TestFacadeDispatch:
         assert maxrank(small_2d, 1, algorithm=name).algorithm == expected
 
     @pytest.mark.parametrize("name, expected", [
-        ("ba", "BA"), ("aa", "AA"),
+        ("ba", "BA"), ("aa", "AA"), ("aa3d", "AA-3D"),
     ])
     def test_explicit_highdim_algorithms(self, small_3d, name, expected):
         assert maxrank(small_3d, 1, algorithm=name).algorithm == expected

@@ -1,0 +1,257 @@
+"""Metamorphic tests for the incremental planar arrangement.
+
+The planar sweep of the ``d = 3`` fast path rests on structural invariants
+of :class:`repro.geometry.planar.PlanarArrangement` that hold regardless of
+the inserted lines, so they are checked *metamorphically* on seeded random
+inputs:
+
+* the face count respects the Euler-formula bound ``1 + m + C(m, 2)`` (with
+  equality for lines in general position all crossing the region);
+* ``V − E + F = 1`` for the derived vertex/edge/face structure (a planar
+  subdivision of a disk, outer face excluded);
+* the faces partition the region — their areas sum to the region's area;
+* the enumerated face/cover-set structure does not depend on insertion
+  order;
+* inserting into a retained arrangement (the AA re-scan path) produces the
+  same structure as a from-scratch rebuild.
+
+An integration section pins the within-leaf contract: a planar-enabled
+processor must report *exactly* the cells (bits, p-orders and bit-identical
+witness centroids) of the generic sequential path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.clipping import MIN_AREA, polygon_area
+from repro.geometry.halfspace import Halfspace, reduced_space_constraints
+from repro.geometry.planar import PlanarArrangement
+from repro.quadtree.withinleaf import WithinLeafProcessor
+from repro.stats import CostCounters
+
+
+def random_lines(count, seed, *, through=(0.35, 0.65)):
+    """Half-planes whose boundary lines pass near the middle of the unit box.
+
+    Anchoring each line at a random point of the central region guarantees
+    it crosses the unit box, so the Euler-bound equality cases are exercised
+    with high probability.
+    """
+    rng = np.random.default_rng(seed)
+    lines = []
+    for index in range(count):
+        angle = rng.uniform(0.0, np.pi)
+        normal = np.array([np.cos(angle), np.sin(angle)])
+        anchor = rng.uniform(*through, size=2)
+        lines.append((index, Halfspace(normal, float(normal @ anchor))))
+    return lines
+
+
+def canonical(arrangement):
+    """Order-independent fingerprint: cover-id set → total area (rounded)."""
+    summary = {}
+    for face in arrangement.faces():
+        key = frozenset(arrangement.cover_ids(face.mask))
+        summary[key] = summary.get(key, 0.0) + face.area()
+    return {key: round(area, 9) for key, area in summary.items()}
+
+
+def unit_box_arrangement(lines):
+    arrangement = PlanarArrangement.for_leaf(np.zeros(2), np.ones(2))
+    arrangement.insert_many(lines)
+    return arrangement
+
+
+class TestEulerInvariants:
+    @pytest.mark.parametrize("m,seed", [(1, 0), (3, 1), (6, 2), (10, 3), (14, 4)])
+    def test_face_count_within_euler_bound(self, m, seed):
+        arrangement = unit_box_arrangement(random_lines(m, seed))
+        bound = 1 + m + m * (m - 1) // 2
+        assert arrangement.face_count <= bound
+        assert len(canonical(arrangement)) <= arrangement.face_count
+
+    @pytest.mark.parametrize("m", [2, 4, 7, 11])
+    def test_general_position_attains_euler_bound(self, m):
+        # A fan of lines with well-separated angles, each anchored at a
+        # slightly different point near the box centre: all pairwise
+        # intersections land near the centre, i.e. inside the region, so
+        # the arrangement attains the Euler bound 1 + m + C(m, 2) exactly.
+        lines = []
+        for index in range(m):
+            angle = np.pi * (index + 0.5) / m
+            normal = np.array([np.cos(angle), np.sin(angle)])
+            anchor = np.array([0.5 + 0.01 * index, 0.5 - 0.008 * index])
+            lines.append((index, Halfspace(normal, float(normal @ anchor))))
+        arrangement = unit_box_arrangement(lines)
+        assert arrangement.face_count == 1 + m + m * (m - 1) // 2
+
+    @pytest.mark.parametrize("m,seed", [(2, 5), (5, 6), (9, 7), (13, 8)])
+    def test_euler_characteristic_of_subdivision(self, m, seed):
+        arrangement = unit_box_arrangement(random_lines(m, seed))
+        v, e, f = arrangement.vertex_edge_face_counts()
+        assert v - e + f == 1
+
+    def test_parallel_lines_miss_quadratic_term(self):
+        # k parallel lines create exactly k + 1 faces: the C(m, 2) term of
+        # the Euler bound needs crossings.
+        lines = [
+            (i, Halfspace([1.0, 0.0], 0.2 + 0.15 * i)) for i in range(4)
+        ]
+        arrangement = unit_box_arrangement(lines)
+        assert arrangement.face_count == 5
+        v, e, f = arrangement.vertex_edge_face_counts()
+        assert v - e + f == 1
+
+
+class TestPartitionInvariant:
+    @pytest.mark.parametrize("m,seed", [(1, 10), (4, 11), (8, 12), (12, 13)])
+    def test_face_areas_sum_to_box_area(self, m, seed):
+        arrangement = unit_box_arrangement(random_lines(m, seed))
+        total = sum(arrangement.face_areas())
+        assert total == pytest.approx(1.0, abs=max(MIN_AREA, 1e-9))
+
+    @pytest.mark.parametrize("m,seed", [(3, 14), (7, 15), (11, 16)])
+    def test_face_areas_sum_to_simplex_area(self, m, seed):
+        # Region clipped by the permissible-simplex constraints: a triangle
+        # of area 1/2 inside the unit box.
+        arrangement = PlanarArrangement.for_leaf(
+            np.zeros(2), np.ones(2), reduced_space_constraints(2)
+        )
+        arrangement.insert_many(random_lines(m, seed))
+        assert sum(arrangement.face_areas()) == pytest.approx(0.5, abs=1e-9)
+
+    def test_empty_region_has_no_faces(self):
+        # A leaf box entirely outside the simplex (x + y > 1 everywhere).
+        arrangement = PlanarArrangement.for_leaf(
+            np.array([0.8, 0.8]), np.ones(2), reduced_space_constraints(2)
+        )
+        assert arrangement.face_count == 0
+        arrangement.insert_many(random_lines(3, 17))
+        assert arrangement.face_count == 0
+        assert arrangement.line_count == 3
+
+
+class TestOrderInvariance:
+    @pytest.mark.parametrize("m,seed", [(4, 20), (8, 21), (11, 22)])
+    def test_insertion_order_never_changes_faces_or_covers(self, m, seed):
+        lines = random_lines(m, seed)
+        reference = canonical(unit_box_arrangement(lines))
+        rng = np.random.default_rng(seed + 1000)
+        for _ in range(3):
+            permuted = [lines[i] for i in rng.permutation(m)]
+            assert canonical(unit_box_arrangement(permuted)) == reference
+
+    @pytest.mark.parametrize("m,seed", [(6, 23), (10, 24)])
+    def test_cover_sets_are_order_independent_by_weight(self, m, seed):
+        lines = random_lines(m, seed)
+        forward = unit_box_arrangement(lines)
+        backward = unit_box_arrangement(list(reversed(lines)))
+        forward_covers = {
+            frozenset(forward.cover_ids(mask)) for mask in forward.distinct_masks()
+        }
+        backward_covers = {
+            frozenset(backward.cover_ids(mask)) for mask in backward.distinct_masks()
+        }
+        assert forward_covers == backward_covers
+
+
+class TestIncrementalInsertion:
+    @pytest.mark.parametrize("m,split,seed", [(6, 2, 30), (10, 5, 31), (12, 9, 32)])
+    def test_incremental_equals_rebuild(self, m, split, seed):
+        lines = random_lines(m, seed)
+        scratch = unit_box_arrangement(lines)
+
+        retained = unit_box_arrangement(lines[:split])
+        extended = retained.copy()
+        extended.insert_many(lines[split:])
+        assert canonical(extended) == canonical(scratch)
+        assert extended.line_ids == scratch.line_ids
+
+    def test_copy_isolates_the_retained_arrangement(self):
+        lines = random_lines(8, 33)
+        retained = unit_box_arrangement(lines[:4])
+        fingerprint = canonical(retained)
+        clone = retained.copy()
+        clone.insert_many(lines[4:])
+        # The retained arrangement is untouched by the extension.
+        assert canonical(retained) == fingerprint
+        assert retained.line_count == 4
+        assert clone.line_count == 8
+
+    def test_counters_charge_inserts_and_faces_once(self):
+        counters = CostCounters()
+        arrangement = PlanarArrangement.for_leaf(np.zeros(2), np.ones(2))
+        arrangement.insert_many(random_lines(5, 34), counters=counters)
+        assert counters.lines_inserted == 5
+
+
+class TestWithinLeafEquivalence:
+    """Planar-enabled processors report exactly the generic path's cells."""
+
+    @staticmethod
+    def _partial(seed, count=9):
+        rng = np.random.default_rng(seed)
+        focal = np.array([0.5, 0.5, 0.5])
+        partial = []
+        produced = 0
+        attempt = 0
+        while produced < count:
+            record = rng.uniform(0.05, 0.95, size=3)
+            attempt += 1
+            if (record > focal).all() or (record < focal).all():
+                continue
+            from repro.geometry.halfspace import halfspace_for_record
+
+            partial.append(
+                (produced, halfspace_for_record(record, focal, record_id=produced))
+            )
+            produced += 1
+        return partial
+
+    @pytest.mark.parametrize("seed", [40, 41, 42, 43])
+    def test_cells_match_generic_exactly(self, seed):
+        partial = self._partial(seed)
+        lower, upper = np.zeros(2), np.ones(2)
+        generic = WithinLeafProcessor(lower, upper, partial, pairwise_min_size=4)
+        planar = WithinLeafProcessor(
+            lower, upper, partial, pairwise_min_size=4, use_planar=True
+        )
+        for weight in range(len(partial) + 1):
+            expected = generic.cells_at_weight(weight)
+            got = planar.cells_at_weight(weight)
+            assert [c.bits for c in got] == [c.bits for c in expected]
+            for a, b in zip(expected, got):
+                assert a.inside_ids == b.inside_ids
+                assert a.p_order == b.p_order
+                assert np.array_equal(a.interior_point, b.interior_point)
+
+    def test_reuse_state_round_trips_the_arrangement(self):
+        partial = self._partial(44, count=12)
+        lower, upper = np.zeros(2), np.ones(2)
+        first = WithinLeafProcessor(
+            lower, upper, partial[:8], use_planar=True, pairwise_min_size=4
+        )
+        for weight in range(4):
+            first.cells_at_weight(weight)
+        state = first.reuse_state()
+        assert state.planar is not None
+        assert state.planar.line_ids == tuple(hid for hid, _ in partial[:8])
+
+        counters = CostCounters()
+        grown = WithinLeafProcessor(
+            lower, upper, partial, use_planar=True, pairwise_min_size=4,
+            seed_state=state, counters=counters,
+        )
+        fresh = WithinLeafProcessor(
+            lower, upper, partial, use_planar=True, pairwise_min_size=4
+        )
+        for weight in range(len(partial) + 1):
+            a = grown.cells_at_weight(weight)
+            b = fresh.cells_at_weight(weight)
+            assert [c.bits for c in a] == [c.bits for c in b]
+            for x, y in zip(a, b):
+                assert np.array_equal(x.interior_point, y.interior_point)
+        # Only the four newly arrived half-planes were inserted.
+        assert counters.lines_inserted == 4

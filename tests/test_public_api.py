@@ -39,7 +39,14 @@ class TestPublicSurface:
             importlib.import_module(module)
 
     def test_algorithm_registry(self):
-        assert set(repro.ALGORITHMS) == {"auto", "aa", "aa2d", "ba", "fca", "exact"}
+        assert set(repro.ALGORITHMS) == {
+            "auto", "aa", "aa2d", "aa3d", "ba", "fca", "exact",
+        }
+
+    def test_engine_registry(self):
+        from repro.core import ENGINES
+
+        assert set(ENGINES) == {"auto", "planar", "generic"}
 
 
 class TestQuickstartExample:
