@@ -47,6 +47,17 @@ Modes
     there (hours instead of sub-second), which is precisely the blow-up the
     planar engine removes.
 
+The matrix also carries a ``service/`` workload family: each configuration
+answers a 16-query batch (8 unique focal records, each asked twice) both
+*cold* — the standalone shape, one fresh ``maxrank()`` + R*-tree build per
+query — and *warm* through one :class:`repro.service.MaxRankService`
+(shared tree, warm skyline state, LRU result cache; ``--jobs`` additionally
+runs the batch through whole-query process parallelism).  Both sides are
+asserted bit-identical before recording, and ``--compare`` gates the
+amortisation counters (``cache_hits``, ``skyline_reused``) alongside the
+work counters, so losing the service's reuse fails CI like losing a pruning
+step does.
+
 The workload matrix is intentionally frozen: the ``--compare`` mode is only
 sound when both sides ran identical configurations.
 """
@@ -64,11 +75,13 @@ from typing import Dict, List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.maxrank import maxrank                  # noqa: E402
 from repro.data.generators import generate              # noqa: E402
-from repro.experiments.harness import run_batch         # noqa: E402
+from repro.experiments.harness import run_batch, select_focal_records  # noqa: E402
 from repro.experiments.reporting import format_table, screen_funnel  # noqa: E402
 from repro.geometry.seidel import solve_lp              # noqa: E402
 from repro.index.rstar import RStarTree                 # noqa: E402
+from repro.service.core import MaxRankService, result_fingerprint  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_maxrank.json"
 SCHEMA = 1
@@ -130,6 +143,38 @@ WORK_COUNTERS = (
     "lines_inserted",
     "faces_enumerated",
 )
+
+#: Service-layer amortisation counters gated on the ``service/`` workload
+#: family: these are deterministic "the service skipped work" tallies, so a
+#: *drop* (fewer cache hits, less warm-skyline reuse than committed) is the
+#: regression.  ``skyline_reused`` is only gated on serial runs — under
+#: ``--jobs`` each pool worker forks with a cold cache, so its value depends
+#: on worker scheduling.
+SERVICE_MIN_COUNTERS = ("cache_hits", "skyline_reused")
+
+
+@dataclass(frozen=True)
+class ServiceBenchConfig:
+    """One frozen service-workload configuration: a batch of ``batch``
+    queries over ``unique`` distinct focal records (the repetition is the
+    point — it is what the result cache amortises)."""
+
+    key: str
+    distribution: str
+    n: int
+    d: int
+    batch: int = 16
+    unique: int = 8
+    tau: int = 0
+    quick: bool = False
+
+
+SERVICE_CONFIGS: List[ServiceBenchConfig] = [
+    ServiceBenchConfig("service/fig9/d=3", "IND", 400, 3, quick=True),
+    ServiceBenchConfig("service/fig9/d=4", "IND", 300, 4, quick=True),
+    ServiceBenchConfig("service/fig9/d=5", "IND", 300, 5),
+    ServiceBenchConfig("service/fig8/ANTI", "ANTI", 600, 4),
+]
 
 
 def calibrate(rounds: int = 1500, repeats: int = 3) -> float:
@@ -214,6 +259,85 @@ def run_config(
     }
 
 
+def run_service_config(
+    config: ServiceBenchConfig,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure the cold per-query path against the warm service batch.
+
+    *Cold* is the standalone shape the service replaces: one fresh
+    ``maxrank()`` per query, R*-tree rebuilt every time.  *Warm* is one
+    :class:`MaxRankService` answering the whole batch (shared tree, warm
+    skyline state, result cache; ``--jobs`` adds whole-query parallelism).
+    The two sides are asserted bit-identical before anything is recorded,
+    so the recorded speedup can never be bought with a wrong answer.
+    """
+    dataset = generate(config.distribution, config.n, config.d, seed=0)
+    unique = select_focal_records(dataset, config.unique, seed=0)
+    focals = [unique[i % len(unique)] for i in range(config.batch)]
+    options: Dict[str, object] = {}
+    if config.d == 3:
+        options["engine"] = engine or "auto"
+
+    # Cold: per-query tree build + standalone query, one per unique focal.
+    cold_results = {}
+    cold_start = time.perf_counter()
+    for focal in unique:
+        cold_results[focal] = maxrank(dataset, int(focal), tau=config.tau, **options)
+    cold_wall = time.perf_counter() - cold_start
+    cold_per_query = cold_wall / len(unique)
+
+    # Warm: one service, one batch.
+    service = MaxRankService(dataset)
+    try:
+        warm_start = time.perf_counter()
+        results = service.query_batch(
+            focals, tau=config.tau, jobs=jobs, **options
+        )
+        warm_wall = time.perf_counter() - warm_start
+        for focal, result in zip(focals, results):
+            if result_fingerprint(result) != result_fingerprint(cold_results[focal]):
+                raise AssertionError(
+                    f"{config.key}: service result for focal {focal} differs "
+                    f"from standalone maxrank()"
+                )
+        stats = service.stats()
+        counters = service.counters.as_dict()
+    finally:
+        service.close()
+
+    warm_per_query = warm_wall / len(focals)
+    funnel = screen_funnel(counters)
+    return {
+        "wall_s": round(warm_wall, 4),
+        "cold_wall_s": round(cold_wall, 4),
+        "cold_per_query_s": round(cold_per_query, 5),
+        "warm_per_query_s": round(warm_per_query, 5),
+        "speedup": round(cold_per_query / warm_per_query, 2) if warm_per_query else 0.0,
+        "cold_start_s": round(stats["tree_build_seconds"], 5),
+        "cpu_s": round(warm_per_query, 4),
+        "io": 0.0,
+        "batch": config.batch,
+        "unique": len(unique),
+        "k_stars": [r.k_star for r in results],
+        "region_counts": [r.region_count for r in results],
+        "cache_hits": int(stats["cache_hits"]),
+        "skyline_reused": int(stats["skyline_reused"]),
+        "queries_computed": int(stats["queries_computed"]),
+        "lp_calls": int(counters.get("lp_calls", 0)),
+        "cells_examined": int(counters.get("cells_examined", 0)),
+        "candidates_generated": int(counters.get("candidates_generated", 0)),
+        "prefixes_cut": int(counters.get("prefixes_cut", 0)),
+        "pairwise_pruned": int(counters.get("pairwise_pruned", 0)),
+        "screen_accepts": int(counters.get("screen_accepts", 0)),
+        "screen_rejects": int(counters.get("screen_rejects", 0)),
+        "lines_inserted": int(counters.get("lines_inserted", 0)),
+        "faces_enumerated": int(counters.get("faces_enumerated", 0)),
+        "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
+    }
+
+
 def run_matrix(
     quick: bool,
     jobs: Optional[int] = None,
@@ -230,6 +354,13 @@ def run_matrix(
             continue
         print(f"running {config.key} ...", flush=True)
         results[config.key] = run_config(config, jobs=jobs, engine=engine)
+    for service_config in SERVICE_CONFIGS:
+        if quick and not service_config.quick:
+            continue
+        print(f"running {service_config.key} (cold vs warm) ...", flush=True)
+        results[service_config.key] = run_service_config(
+            service_config, jobs=jobs, engine=engine
+        )
     return results
 
 
@@ -246,6 +377,7 @@ def compare(
     baseline: Dict[str, object],
     *,
     wall_gate: bool = True,
+    serial_run: bool = True,
 ) -> List[str]:
     """Return a list of failure messages (empty when the run is clean).
 
@@ -253,6 +385,10 @@ def compare(
     ``--jobs`` runs, where the committed baseline is serial and the
     wall-clock depends on the host's core count; the fingerprint and
     counter gates (which a correct parallel run must pass unchanged) stay.
+    ``serial_run=False`` (also a ``--jobs`` property, but deliberately a
+    separate flag) additionally skips the ``skyline_reused`` amortisation
+    gate: pool workers fork with a cold skyline cache, so that counter
+    depends on worker scheduling under ``--jobs``.
     """
     failures: List[str] = []
     base_entries = baseline.get("current", {}).get("configs", {})
@@ -275,6 +411,20 @@ def compare(
                 failures.append(
                     f"{key}: {counter} regressed {base_value:.0f} -> {value:.0f}"
                 )
+        if key.startswith("service/"):
+            # Amortisation gates: the service family must keep skipping at
+            # least as much work as the committed baseline (deterministic
+            # counts, so any drop is a real lost optimisation).
+            for counter in SERVICE_MIN_COUNTERS:
+                if counter == "skyline_reused" and not serial_run:
+                    continue  # worker forks start cold under --jobs
+                base_value = float(base.get(counter, 0))
+                value = float(entry.get(counter, 0))
+                if value < base_value:
+                    failures.append(
+                        f"{key}: {counter} dropped {base_value:.0f} -> {value:.0f} "
+                        f"(lost service amortisation)"
+                    )
         if (
             wall_gate
             and base_calibration > 0
@@ -295,7 +445,7 @@ def compare(
 def print_report(results: Dict[str, Dict[str, object]]) -> None:
     rows = []
     for key, entry in results.items():
-        rows.append({
+        row = {
             "config": key,
             "wall_s": entry["wall_s"],
             "k*": "/".join(str(v) for v in entry["k_stars"]),
@@ -304,9 +454,19 @@ def print_report(results: Dict[str, Dict[str, object]]) -> None:
             "generated": entry.get("candidates_generated", entry["cells_examined"]),
             "cut": entry.get("prefixes_cut", 0),
             "screened%": round(100 * entry["screen_resolved_ratio"], 1),
-        })
+        }
+        if key.startswith("service/"):
+            row["k*"] = "/".join(str(v) for v in entry["k_stars"][: entry["unique"]])
+            row["|T|"] = "/".join(
+                str(v) for v in entry["region_counts"][: entry["unique"]]
+            )
+            row["warm_x"] = entry["speedup"]
+            row["hits"] = entry["cache_hits"]
+        rows.append(row)
+    columns = ["config", "wall_s", "k*", "|T|", "lp", "generated", "cut",
+               "screened%", "warm_x", "hits"]
     print()
-    print(format_table(rows, title="MaxRank benchmark matrix"))
+    print(format_table(rows, columns, title="MaxRank benchmark matrix"))
 
 
 def print_funnel_comparison(
@@ -387,11 +547,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"no committed baseline at {BASELINE_PATH}", file=sys.stderr)
             status = 1
         else:
+            parallel = bool(args.jobs and args.jobs > 1)
             failures = compare(
                 results,
                 calibration,
                 baseline,
-                wall_gate=not (args.jobs and args.jobs > 1),
+                wall_gate=not parallel,
+                serial_run=not parallel,
             )
             if failures:
                 print("\nREGRESSIONS:", file=sys.stderr)

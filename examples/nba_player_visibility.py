@@ -15,19 +15,28 @@ Run with::
 
     python examples/nba_player_visibility.py              # full market (slow)
     python examples/nba_player_visibility.py --sample 120 # CI-sized, < 1 min
+    python examples/nba_player_visibility.py --sample 120 --snapshot nba.rprs
 
 At 8 attributes the preference space is 7-dimensional, so the market size
 drives the cost steeply; ``--sample`` shrinks the simulated market to keep
 the run interactive (the profiles stay qualitatively the same).
+
+``--snapshot`` routes the analysis through the service layer
+(:class:`repro.MaxRankService`): the first run builds the R*-tree and
+persists it; later runs cold-start from the file and skip the index build —
+the realistic shape for a scouting tool that is consulted repeatedly.
+Results are bit-identical with and without the snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
 import numpy as np
 
-from repro import load_real_dataset, maxrank
+from repro import MaxRankService, load_real_dataset, maxrank
+from repro.errors import SnapshotError
 from repro.experiments import format_table
 
 
@@ -38,8 +47,11 @@ def pick_player(records: np.ndarray, weights: np.ndarray, quantile: float) -> in
     return int(np.argmin(np.abs(scores - target)))
 
 
-def analyse(nba, player: int, label: str) -> dict:
-    result = maxrank(nba, player, tau=0)
+def analyse(nba, player: int, label: str, service=None) -> dict:
+    result = (
+        service.query(player, tau=0) if service is not None
+        else maxrank(nba, player, tau=0)
+    )
     names = nba.attribute_names
     # Collect, over all best-rank regions, the attribute that receives the
     # largest weight at the region's representative preference.
@@ -58,6 +70,39 @@ def analyse(nba, player: int, label: str) -> dict:
     }
 
 
+def open_service(args: argparse.Namespace):
+    """Return ``(dataset, service_or_None)``, honouring ``--snapshot``.
+
+    A usable snapshot skips both the dataset simulation and the R*-tree
+    build; a missing or stale one (different sample size) is rebuilt and
+    rewritten, so the flag is safe to always pass.
+    """
+    if not args.snapshot:
+        return load_real_dataset("NBA", n=args.sample, seed=3), None
+    path = Path(args.snapshot)
+    if path.exists():
+        try:
+            service = MaxRankService.from_snapshot(path)
+            loaded = service.dataset
+            if (
+                loaded.name == "NBA"
+                and loaded.n == args.sample
+                and loaded.attribute_names is not None
+            ):
+                print(f"loaded snapshot {path} (skipped simulation + index build)")
+                return loaded, service
+            print(f"snapshot {path} holds {loaded.name!r} n={loaded.n}, "
+                  f"want NBA n={args.sample}; rebuilding")
+            service.close()
+        except SnapshotError as exc:
+            print(f"snapshot unusable ({exc}); rebuilding")
+    nba = load_real_dataset("NBA", n=args.sample, seed=3)
+    service = MaxRankService(nba)
+    service.save_snapshot(path)
+    print(f"built index and saved snapshot to {path}")
+    return nba, service
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -68,11 +113,18 @@ def main() -> None:
         help="number of simulated players to analyse (default 350; "
         "use ~120 for a sub-minute run)",
     )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="persist/reuse the built index through the service layer: the "
+        "first run writes PATH, repeated runs skip the build entirely",
+    )
     args = parser.parse_args()
     # Note: at 8 attributes the preference space is 7-dimensional; keep the
     # market small so the analysis finishes interactively (see EXPERIMENTS.md
     # on the cost of high dimensionalities).
-    nba = load_real_dataset("NBA", n=args.sample, seed=3)
+    nba, service = open_service(args)
     names = list(nba.attribute_names)
 
     guard_weights = np.zeros(nba.d)
@@ -87,7 +139,9 @@ def main() -> None:
         (pick_player(nba.records, center_weights, 0.93), "rim-protecting center"),
     ]
 
-    rows = [analyse(nba, player, label) for player, label in players]
+    rows = [analyse(nba, player, label, service=service) for player, label in players]
+    if service is not None:
+        service.close()
     print(format_table(
         rows,
         ["player", "k_star", "dominators", "regions", "lead_attribute"],

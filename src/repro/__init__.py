@@ -17,6 +17,9 @@ Quickstart
 Main entry points
 -----------------
 * :func:`repro.maxrank` / :func:`repro.imaxrank` — query facade.
+* :class:`repro.MaxRankService` — the persistent serving layer: one warm
+  R*-tree per dataset, LRU result caching, batched/parallel query
+  execution and snapshot persistence (``python -m repro.service``).
 * :class:`repro.Dataset` and the IND/COR/ANTI generators plus simulated real
   datasets (HOTEL, HOUSE, NBA, PITCH, BAT).
 * ``repro.core`` — the individual algorithms (FCA, BA, AA, AA-2D, oracles).
@@ -36,6 +39,7 @@ from .data.generators import (
 from .data.realistic import REAL_DATASETS, load_real_dataset
 from .errors import ReproError
 from .index.rstar import RStarTree
+from .service.core import MaxRankService
 from .stats import CostCounters
 
 __version__ = "1.0.0"
@@ -57,6 +61,7 @@ __all__ = [
     "load_real_dataset",
     "REAL_DATASETS",
     "RStarTree",
+    "MaxRankService",
     "CostCounters",
     "ReproError",
     "__version__",

@@ -31,6 +31,7 @@ from ..errors import AlgorithmError
 from ..geometry.halfspace import halfspace_for_record
 from ..index.rstar import RStarTree
 from ..quadtree.quadtree import AugmentedQuadTree
+from ..skyline.bbs import SkylineCache
 from ..stats import CostCounters
 from .accessor import DataAccessor
 from .cells import CellRecord, collect_cells, region_for_cell
@@ -55,6 +56,7 @@ def aa_maxrank(
     use_pairwise: bool = True,
     use_planar: bool = False,
     executor: Optional[LeafTaskExecutor] = None,
+    skyline_cache: Optional[SkylineCache] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the advanced approach (``d ≥ 3``).
 
@@ -102,6 +104,11 @@ def aa_maxrank(
         serial in-process path, unless the ``REPRO_JOBS`` environment
         variable forces a shared pool.  Results and counters are
         bit-identical across executors.
+    skyline_cache:
+        Optional warm :class:`~repro.skyline.bbs.SkylineCache` for ``tree``
+        (shared across queries by :mod:`repro.service`).  A pure CPU memo
+        for the BBS passes; results and engine-invariant counters are
+        identical with and without it.
 
     Returns
     -------
@@ -124,7 +131,9 @@ def aa_maxrank(
         raise AlgorithmError(f"tau must be non-negative, got {tau}")
     start = time.perf_counter()
     executor = resolve_executor(executor)
-    accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
+    accessor = DataAccessor(
+        dataset, focal, tree=tree, counters=counters, skyline_cache=skyline_cache
+    )
     counters = accessor.counters
 
     dominators = accessor.dominator_count()

@@ -28,6 +28,7 @@ from ..errors import AlgorithmError
 from ..geometry.halfspace import halfspace_for_record
 from ..geometry.interval import Interval
 from ..index.rstar import RStarTree
+from ..skyline.bbs import SkylineCache
 from ..stats import CostCounters
 from .accessor import DataAccessor
 from .result import MaxRankRegion, MaxRankResult
@@ -185,14 +186,23 @@ def aa2d_maxrank(
     tau: int = 0,
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
+    skyline_cache: Optional[SkylineCache] = None,
 ) -> MaxRankResult:
-    """Answer a MaxRank / iMaxRank query with the 2-dimensional advanced approach."""
+    """Answer a MaxRank / iMaxRank query with the 2-dimensional advanced approach.
+
+    ``skyline_cache`` is an optional warm
+    :class:`~repro.skyline.bbs.SkylineCache` for ``tree`` (see
+    :mod:`repro.service`); it memoises BBS traversal CPU only and leaves
+    results and cost accounting unchanged.
+    """
     if dataset.d != 2:
         raise AlgorithmError(f"AA-2D only supports d = 2 datasets, got d = {dataset.d}")
     if tau < 0:
         raise AlgorithmError(f"tau must be non-negative, got {tau}")
     start = time.perf_counter()
-    accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
+    accessor = DataAccessor(
+        dataset, focal, tree=tree, counters=counters, skyline_cache=skyline_cache
+    )
     counters = accessor.counters
 
     dominators = accessor.dominator_count()

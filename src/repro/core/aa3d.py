@@ -43,6 +43,7 @@ from ..data.dataset import Dataset
 from ..engine.executors import LeafTaskExecutor
 from ..errors import AlgorithmError
 from ..index.rstar import RStarTree
+from ..skyline.bbs import SkylineCache
 from ..stats import CostCounters
 from .aa import aa_maxrank
 from .result import MaxRankResult
@@ -60,6 +61,7 @@ def aa3d_maxrank(
     split_threshold: Optional[int] = None,
     use_pairwise: bool = True,
     executor: Optional[LeafTaskExecutor] = None,
+    skyline_cache: Optional[SkylineCache] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the planar-sweep AA (``d = 3``).
 
@@ -93,6 +95,7 @@ def aa3d_maxrank(
         use_pairwise=use_pairwise,
         use_planar=True,
         executor=executor,
+        skyline_cache=skyline_cache,
     )
     result.algorithm = "AA-3D"
     return result

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..index.rstar import RStarTree
-from ..skyline.bbs import IncrementalSkyline
+from ..skyline.bbs import IncrementalSkyline, SkylineCache
 from ..skyline.dominance import DominancePartition, partition_by_dominance
 from ..stats import CostCounters
 
@@ -49,6 +49,11 @@ class DataAccessor:
     build_method:
         ``"bulk"`` (default) or ``"insert"`` — how to build the tree when one
         is not supplied.
+    skyline_cache:
+        Optional warm :class:`~repro.skyline.bbs.SkylineCache` for the
+        supplied tree (the :mod:`repro.service` layer shares one across all
+        queries on a dataset).  Purely a CPU memo — results and cost
+        accounting are identical with and without it.
     """
 
     def __init__(
@@ -59,6 +64,7 @@ class DataAccessor:
         tree: Optional[RStarTree] = None,
         counters: Optional[CostCounters] = None,
         build_method: str = "bulk",
+        skyline_cache: Optional[SkylineCache] = None,
     ) -> None:
         self.dataset = dataset
         self.focal_index: Optional[int] = (
@@ -69,6 +75,7 @@ class DataAccessor:
         self.tree = tree if tree is not None else RStarTree.build(
             dataset.records, method=build_method
         )
+        self.skyline_cache = skyline_cache
         self._partition: Optional[DominancePartition] = None
 
     # ----------------------------------------------------------- dominance
@@ -126,5 +133,8 @@ class DataAccessor:
     def incremental_skyline(self) -> IncrementalSkyline:
         """Incremental BBS skyline over the incomparable records."""
         return IncrementalSkyline(
-            self.tree, accept=self.is_incomparable, counters=self.counters
+            self.tree,
+            accept=self.is_incomparable,
+            counters=self.counters,
+            cache=self.skyline_cache,
         )

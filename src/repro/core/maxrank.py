@@ -22,6 +22,7 @@ from ..data.dataset import Dataset
 from ..engine.executors import make_executor
 from ..errors import AlgorithmError
 from ..index.rstar import RStarTree
+from ..skyline.bbs import SkylineCache
 from ..stats import CostCounters
 from .aa import aa_maxrank
 from .aa2d import aa2d_maxrank
@@ -53,6 +54,7 @@ def maxrank(
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
     jobs: Optional[int] = None,
+    skyline_cache: Optional[SkylineCache] = None,
     **options,
 ) -> MaxRankResult:
     """Answer a MaxRank (or iMaxRank, with ``tau > 0``) query.
@@ -104,6 +106,13 @@ def maxrank(
         For batches of queries, build one executor with
         :func:`repro.engine.make_executor` and pass ``executor=`` instead,
         so the pool is reused across queries.
+    skyline_cache:
+        Optional warm :class:`~repro.skyline.bbs.SkylineCache` built for
+        ``tree`` (the :mod:`repro.service` layer shares one across all
+        queries it serves).  Consumed by the BBS-driven algorithms (AA,
+        AA-2D, AA-3D) and ignored by the scan-based ones (FCA, BA, exact);
+        a pure CPU memo, so results and engine-invariant counters are
+        identical with and without it.
     options:
         Algorithm-specific tuning knobs (``split_threshold``,
         ``use_pairwise``, ``executor`` for BA/AA).
@@ -153,9 +162,20 @@ def maxrank(
     if name == "fca":
         return fca_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
     if name == "aa2d":
-        return aa2d_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
+        return aa2d_maxrank(
+            dataset,
+            focal,
+            tau=tau,
+            tree=tree,
+            counters=counters,
+            skyline_cache=skyline_cache,
+        )
     if name in ("ba", "aa", "aa3d"):
         run = {"ba": ba_maxrank, "aa": aa_maxrank, "aa3d": aa3d_maxrank}[name]
+        if name != "ba" and skyline_cache is not None:
+            # BA reads every incomparable record with a full scan and never
+            # runs BBS, so the warm skyline state has nothing to memoise.
+            options = dict(options, skyline_cache=skyline_cache)
         if "use_planar" in options:
             # The facade's within-leaf engine knob is ``engine=``; a raw
             # use_planar here could silently contradict the validated flag

@@ -19,6 +19,12 @@ priority level and hands them to an executor:
 Thread an executor through the public API (``maxrank(..., jobs=4)`` or
 ``maxrank(..., executor=...)``), or force one globally with the
 ``REPRO_JOBS`` environment variable.
+
+Executors also schedule *whole-query* tasks: any picklable work unit with a
+``run()`` method goes through the same chunked dispatch and
+submission-order merge (see :func:`repro.engine.tasks.execute_task`).  The
+service layer (:mod:`repro.service`) uses this to run entire MaxRank
+queries of a batch in parallel.
 """
 
 from .executors import (
@@ -29,12 +35,13 @@ from .executors import (
     make_executor,
     resolve_executor,
 )
-from .tasks import LeafTask, LeafTaskResult, execute_leaf_task
+from .tasks import LeafTask, LeafTaskResult, execute_leaf_task, execute_task
 
 __all__ = [
     "LeafTask",
     "LeafTaskResult",
     "execute_leaf_task",
+    "execute_task",
     "LeafTaskExecutor",
     "SerialExecutor",
     "InlineTaskExecutor",

@@ -11,7 +11,10 @@ Executor contract
 -----------------
 * ``run(tasks)`` returns ``[result_for(t) for t in tasks]`` — same length,
   same order; each result must be exactly what
-  :func:`~repro.engine.tasks.execute_leaf_task` produces for that task.
+  :func:`~repro.engine.tasks.execute_task` produces for that task
+  (:func:`~repro.engine.tasks.execute_leaf_task` for leaf tasks, the
+  task's own ``run()`` for other work units such as the service layer's
+  whole-query tasks).
 * ``inline`` tells the scheduler whether tasks execute in the calling
   process against scheduler-owned state (``True`` — the scheduler then
   keeps long-lived per-leaf processors and skips snapshot shipping) or in
@@ -45,7 +48,7 @@ import math
 import os
 from typing import List, Optional, Sequence
 
-from .tasks import LeafTask, LeafTaskResult, execute_leaf_task
+from .tasks import LeafTask, LeafTaskResult, execute_leaf_task, execute_task
 
 __all__ = [
     "LeafTaskExecutor",
@@ -97,7 +100,7 @@ class SerialExecutor(LeafTaskExecutor):
     inline = True
 
     def run(self, tasks: Sequence[LeafTask]) -> List[LeafTaskResult]:
-        return [execute_leaf_task(task) for task in tasks]
+        return [execute_task(task) for task in tasks]
 
 
 class InlineTaskExecutor(LeafTaskExecutor):
@@ -112,12 +115,12 @@ class InlineTaskExecutor(LeafTaskExecutor):
     inline = False
 
     def run(self, tasks: Sequence[LeafTask]) -> List[LeafTaskResult]:
-        return [execute_leaf_task(task) for task in tasks]
+        return [execute_task(task) for task in tasks]
 
 
 def _execute_chunk(tasks: List[LeafTask]) -> List[LeafTaskResult]:
     """Worker entry point: run one chunk of tasks sequentially."""
-    return [execute_leaf_task(task) for task in tasks]
+    return [execute_task(task) for task in tasks]
 
 
 class ProcessPoolExecutor(LeafTaskExecutor):
@@ -171,7 +174,7 @@ class ProcessPoolExecutor(LeafTaskExecutor):
         if self.jobs == 1 or len(tasks) == 1:
             # One worker (or one task) gains nothing from IPC; the
             # self-contained path is identical either way.
-            return [execute_leaf_task(task) for task in tasks]
+            return [execute_task(task) for task in tasks]
         pool = self._ensure_pool()
         chunk_count = min(len(tasks), self.jobs * _CHUNKS_PER_WORKER)
         size = math.ceil(len(tasks) / chunk_count)

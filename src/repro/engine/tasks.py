@@ -50,7 +50,7 @@ from ..quadtree.withinleaf import (
 )
 from ..stats import CostCounters
 
-__all__ = ["LeafTask", "LeafTaskResult", "execute_leaf_task"]
+__all__ = ["LeafTask", "LeafTaskResult", "execute_leaf_task", "execute_task"]
 
 
 @dataclass(frozen=True)
@@ -191,3 +191,19 @@ def execute_leaf_task(
         counters=own if counters is None else None,
         planar=processor.planar_arrangement if task.planar is None else None,
     )
+
+
+def execute_task(task):
+    """Run any engine work unit in the current process.
+
+    The executors schedule two kinds of self-contained tasks: the
+    :class:`LeafTask` probes of the within-leaf scan, and any other
+    picklable object exposing a no-argument ``run()`` method — the service
+    layer's whole-query tasks (:class:`repro.service.batch.QueryTask`) use
+    that hook to push entire MaxRank queries through the same executors
+    (same chunked dispatch, same submission-order merge, hence the same
+    determinism story).
+    """
+    if isinstance(task, LeafTask):
+        return execute_leaf_task(task)
+    return task.run()

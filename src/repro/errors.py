@@ -41,5 +41,11 @@ class IndexError_(ReproError):
     to avoid shadowing the built-in :class:`IndexError`)."""
 
 
+class SnapshotError(ReproError):
+    """A persisted index/dataset snapshot is unreadable: missing file,
+    wrong magic, unsupported format version, truncation or checksum
+    mismatch.  Raised instead of ever returning a partially loaded tree."""
+
+
 class ExperimentError(ReproError):
     """An experiment/benchmark driver received an invalid configuration."""

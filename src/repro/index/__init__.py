@@ -1,6 +1,15 @@
-"""Spatial index substrate: MBRs, R*-tree nodes, the R*-tree and disk simulation."""
+"""Spatial index substrate: MBRs, R*-tree nodes, the R*-tree, disk simulation
+and snapshot persistence."""
 
-from .diskio import DEFAULT_PAGE_SIZE, DiskSimulator
+from .diskio import (
+    DEFAULT_PAGE_SIZE,
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    DiskSimulator,
+    SnapshotPayload,
+    load_snapshot,
+    save_snapshot,
+)
 from .mbr import MBR
 from .node import LeafEntry, RStarNode
 from .rstar import RStarTree
@@ -12,4 +21,9 @@ __all__ = [
     "RStarTree",
     "DiskSimulator",
     "DEFAULT_PAGE_SIZE",
+    "SnapshotPayload",
+    "save_snapshot",
+    "load_snapshot",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
 ]

@@ -10,16 +10,43 @@ to the query's :class:`~repro.stats.CostCounters`.
 size, so trees built here have the same branching factors a disk-resident
 R*-tree would have — which is what makes the simulated I/O counts comparable
 in shape to the paper's.
+
+The module also owns **snapshot persistence** (:func:`save_snapshot` /
+:func:`load_snapshot`): a versioned on-disk format for a built R*-tree plus
+its dataset record matrix, so a long-lived query service
+(:mod:`repro.service`) can cold-start from a file instead of re-running the
+STR bulk load.  The format stores the exact node structure (levels, page
+ids, child layout, leaf record ids), so a loaded tree is node-for-node
+identical to the saved one — same pages, same MBRs, same aggregate counts,
+and therefore byte-identical query results and simulated I/O charges.
 """
 
 from __future__ import annotations
 
+import json
+import struct
+import zlib
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+import numpy as np
+
+from ..errors import SnapshotError
 from ..stats import CostCounters
 
-__all__ = ["DiskSimulator", "DEFAULT_PAGE_SIZE"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (rstar imports us)
+    from .rstar import RStarTree
+
+__all__ = [
+    "DiskSimulator",
+    "DEFAULT_PAGE_SIZE",
+    "SnapshotPayload",
+    "save_snapshot",
+    "load_snapshot",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+]
 
 #: Default disk page size, matching the paper's experimental setup.
 DEFAULT_PAGE_SIZE = 4096
@@ -77,3 +104,293 @@ class DiskSimulator:
         self.total_reads += 1
         if counters is not None:
             counters.count_page_read(page_id)
+
+
+# --------------------------------------------------------------------------
+# Snapshot persistence
+# --------------------------------------------------------------------------
+
+#: 8-byte magic prefix of every snapshot file.
+SNAPSHOT_MAGIC = b"RPROSNAP"
+#: Current snapshot format version.  Bump on any layout change; readers
+#: refuse other versions with a clear error instead of mis-parsing.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SnapshotPayload:
+    """What :func:`load_snapshot` returns.
+
+    Attributes
+    ----------
+    tree:
+        The reconstructed :class:`~repro.index.rstar.RStarTree` —
+        node-for-node identical to the saved one (levels, page ids, entry
+        order, MBRs, aggregate counts, disk-simulator allocation state).
+    records:
+        The ``(n, d)`` float64 record matrix the tree indexes (leaf entry
+        record ids are row indices into it).
+    metadata:
+        The caller-supplied metadata dictionary saved alongside (e.g. the
+        dataset name and attribute names), ``{}`` when none was given.
+    """
+
+    tree: "RStarTree"
+    records: np.ndarray
+    metadata: Dict[str, object]
+
+
+def _write_array(handle, array: np.ndarray) -> None:
+    np.lib.format.write_array(handle, np.ascontiguousarray(array), allow_pickle=False)
+
+
+def _read_array(handle) -> np.ndarray:
+    return np.lib.format.read_array(handle, allow_pickle=False)
+
+
+def save_snapshot(
+    path: str | Path,
+    tree: "RStarTree",
+    records: np.ndarray,
+    *,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Persist a built R*-tree and its record matrix to ``path``.
+
+    The layout is: the 8-byte magic, a little-endian ``uint32`` format
+    version, a length-prefixed JSON header (geometry, disk state, a CRC-32
+    of the record bytes, caller metadata), then five ``.npy``-encoded
+    arrays — the records, the preorder node levels / page ids / child
+    counts, and the concatenated leaf record ids.  Everything needed to
+    rebuild the tree bit-identically is structural; MBRs and aggregate
+    counts are *not* stored because they are recomputed lazily to the same
+    values (exact min/max/sum reductions over the same floats).
+
+    Raises
+    ------
+    SnapshotError
+        When the tree's leaf entries are not rows of ``records`` (the
+        snapshot would not round-trip) or the file cannot be written.
+    """
+    matrix = np.ascontiguousarray(np.asarray(records, dtype=float))
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise SnapshotError(
+            f"records must form a non-empty (n, d) matrix, got shape {matrix.shape}"
+        )
+    if matrix.shape[1] != tree.dim:
+        raise SnapshotError(
+            f"record matrix is {matrix.shape[1]}-dimensional but the tree "
+            f"indexes {tree.dim} dimensions"
+        )
+
+    levels: List[int] = []
+    pages: List[int] = []
+    child_counts: List[int] = []
+    leaf_ids: List[int] = []
+
+    def visit(node) -> None:
+        levels.append(node.level)
+        pages.append(node.page_id)
+        child_counts.append(len(node.entries))
+        if node.is_leaf:
+            for entry in node.entries:
+                record_id = entry.record_id
+                if not 0 <= record_id < matrix.shape[0] or not np.array_equal(
+                    matrix[record_id], entry.point
+                ):
+                    raise SnapshotError(
+                        f"leaf entry {record_id} is not a row of the record "
+                        f"matrix; only trees built over the matrix (record "
+                        f"ids = row indices) can be snapshotted"
+                    )
+                leaf_ids.append(record_id)
+        else:
+            for child in node.entries:
+                visit(child)
+
+    visit(tree.root)
+
+    level_arr = np.asarray(levels, dtype=np.int32)
+    page_arr = np.asarray(pages, dtype=np.int64)
+    count_arr = np.asarray(child_counts, dtype=np.int32)
+    leaf_arr = np.asarray(leaf_ids, dtype=np.int64)
+    structure_crc = zlib.crc32(
+        level_arr.tobytes() + page_arr.tobytes() + count_arr.tobytes() + leaf_arr.tobytes()
+    )
+
+    header = {
+        "dim": tree.dim,
+        "size": tree.size,
+        "page_size": tree.disk.page_size,
+        "next_page_id": tree.disk.pages_allocated,
+        "leaf_capacity": tree._leaf_capacity,
+        "internal_capacity": tree._internal_capacity,
+        "node_count": len(levels),
+        "entry_count": len(leaf_ids),
+        "records_shape": list(matrix.shape),
+        "records_crc32": zlib.crc32(matrix.tobytes()),
+        "structure_crc32": structure_crc,
+        "metadata": metadata or {},
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+
+    target = Path(path)
+    try:
+        with target.open("wb") as handle:
+            handle.write(SNAPSHOT_MAGIC)
+            handle.write(struct.pack("<I", SNAPSHOT_VERSION))
+            handle.write(struct.pack("<I", len(header_bytes)))
+            handle.write(header_bytes)
+            _write_array(handle, matrix)
+            _write_array(handle, level_arr)
+            _write_array(handle, page_arr)
+            _write_array(handle, count_arr)
+            _write_array(handle, leaf_arr)
+    except OSError as exc:
+        raise SnapshotError(f"cannot write snapshot to {target}: {exc}") from exc
+
+
+def load_snapshot(path: str | Path) -> SnapshotPayload:
+    """Load a snapshot written by :func:`save_snapshot`.
+
+    Returns the reconstructed tree, the record matrix and the saved
+    metadata.  The tree is node-for-node identical to the saved one; in
+    particular its simulated-disk allocation state is restored, so page-read
+    accounting continues exactly where the original tree's would.
+
+    Raises
+    ------
+    SnapshotError
+        For a missing/unreadable file, wrong magic, unsupported version,
+        truncated payload, corrupted arrays, or a checksum mismatch — never
+        a partially constructed tree.
+    """
+    from .rstar import MIN_FILL_FRACTION, RStarTree  # local: rstar imports us
+
+    source = Path(path)
+    try:
+        handle = source.open("rb")
+    except OSError as exc:
+        raise SnapshotError(f"cannot open snapshot {source}: {exc}") from exc
+
+    with handle:
+        magic = handle.read(len(SNAPSHOT_MAGIC))
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotError(
+                f"{source} is not a repro snapshot (bad magic {magic!r})"
+            )
+        version_bytes = handle.read(4)
+        if len(version_bytes) != 4:
+            raise SnapshotError(f"{source} is truncated (no version field)")
+        (version,) = struct.unpack("<I", version_bytes)
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{source} uses snapshot format version {version}; this "
+                f"build reads version {SNAPSHOT_VERSION} — rebuild the "
+                f"snapshot with `python -m repro.service build`"
+            )
+        try:
+            (header_len,) = struct.unpack("<I", handle.read(4))
+            header = json.loads(handle.read(header_len).decode("utf-8"))
+            matrix = _read_array(handle)
+            levels = _read_array(handle)
+            pages = _read_array(handle)
+            child_counts = _read_array(handle)
+            leaf_ids = _read_array(handle)
+        except (ValueError, KeyError, EOFError, OSError, struct.error) as exc:
+            raise SnapshotError(f"{source} is truncated or corrupted: {exc}") from exc
+
+    try:
+        dim = int(header["dim"])
+        node_count = int(header["node_count"])
+        entry_count = int(header["entry_count"])
+        expected_shape = tuple(header["records_shape"])
+        expected_crc = int(header["records_crc32"])
+        page_size = int(header["page_size"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"{source} has a malformed header: {exc}") from exc
+
+    matrix = np.ascontiguousarray(np.asarray(matrix, dtype=float))
+    if matrix.shape != expected_shape or matrix.ndim != 2:
+        raise SnapshotError(
+            f"{source}: record matrix shape {matrix.shape} does not match "
+            f"the header ({expected_shape})"
+        )
+    if zlib.crc32(matrix.tobytes()) != expected_crc:
+        raise SnapshotError(
+            f"{source}: record matrix checksum mismatch — the snapshot is "
+            f"corrupted"
+        )
+    structure_crc = zlib.crc32(
+        np.ascontiguousarray(levels, dtype=np.int32).tobytes()
+        + np.ascontiguousarray(pages, dtype=np.int64).tobytes()
+        + np.ascontiguousarray(child_counts, dtype=np.int32).tobytes()
+        + np.ascontiguousarray(leaf_ids, dtype=np.int64).tobytes()
+    )
+    if structure_crc != int(header.get("structure_crc32", -1)):
+        raise SnapshotError(
+            f"{source}: node-table checksum mismatch — the snapshot is corrupted"
+        )
+    if (
+        levels.shape[0] != node_count
+        or pages.shape[0] != node_count
+        or child_counts.shape[0] != node_count
+        or leaf_ids.shape[0] != entry_count
+        or node_count == 0
+    ):
+        raise SnapshotError(
+            f"{source}: node tables are inconsistent with the header"
+        )
+    if entry_count and (leaf_ids.min() < 0 or leaf_ids.max() >= matrix.shape[0]):
+        raise SnapshotError(
+            f"{source}: leaf record ids fall outside the record matrix"
+        )
+
+    from .node import LeafEntry, RStarNode  # deferred with RStarTree
+
+    tree = RStarTree(dim, page_size=page_size)
+    tree._leaf_capacity = int(header["leaf_capacity"])
+    tree._internal_capacity = int(header["internal_capacity"])
+    tree._min_leaf = max(2, int(MIN_FILL_FRACTION * tree._leaf_capacity))
+    tree._min_internal = max(2, int(MIN_FILL_FRACTION * tree._internal_capacity))
+    tree.size = int(header["size"])
+    tree.disk = DiskSimulator(page_size=page_size)
+    tree.disk._next_page_id = int(header["next_page_id"])
+
+    cursor = {"node": 0, "entry": 0}
+
+    def build() -> RStarNode:
+        index = cursor["node"]
+        if index >= node_count:
+            raise SnapshotError(f"{source}: node tables end mid-structure")
+        cursor["node"] = index + 1
+        node = RStarNode(level=int(levels[index]), page_id=int(pages[index]))
+        count = int(child_counts[index])
+        if node.is_leaf:
+            start = cursor["entry"]
+            if start + count > entry_count:
+                raise SnapshotError(f"{source}: leaf entry table is truncated")
+            cursor["entry"] = start + count
+            node.replace_entries(
+                [LeafEntry(int(rid), matrix[int(rid)]) for rid in leaf_ids[start:start + count]]
+            )
+        else:
+            children = []
+            for _ in range(count):
+                children.append(build())
+            node.replace_entries(children)
+        return node
+
+    try:
+        tree.root = build()
+    except RecursionError as exc:  # pragma: no cover - absurd heights only
+        raise SnapshotError(f"{source}: node structure is cyclic or malformed") from exc
+    if cursor["node"] != node_count or cursor["entry"] != entry_count:
+        raise SnapshotError(
+            f"{source}: node tables describe more nodes/entries than the "
+            f"tree structure consumes"
+        )
+    metadata = header.get("metadata") or {}
+    if not isinstance(metadata, dict):
+        raise SnapshotError(f"{source}: snapshot metadata must be a mapping")
+    return SnapshotPayload(tree=tree, records=matrix, metadata=metadata)

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` entry point (see :mod:`repro.service.cli`)."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

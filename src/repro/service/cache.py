@@ -1,0 +1,186 @@
+"""LRU result cache of the MaxRank service layer.
+
+The cache maps a fully resolved query identity — focal record, iMaxRank
+slack ``tau``, algorithm, within-leaf engine and any algorithm options — to
+the :class:`~repro.core.result.MaxRankResult` a previous computation
+produced.  Hits return the stored result object unchanged, so a cached
+answer is trivially bit-identical to the original computation.
+
+Tau-monotone reuse
+------------------
+iMaxRank answers are *monotone* in ``tau``: a ``tau = 4`` result reports
+every arrangement cell whose order is within 4 of the optimum — the
+``(k* + 4)``-skyband of cells — so the regions of any ``tau ≤ 4`` query on
+the same record are the order-filtered subset of that answer, with the same
+``k*`` and the same dominator count.  :meth:`QueryCache.get` exploits this
+when ``tau_monotone=True``: a miss at ``tau`` is served by filtering the
+tightest cached superset answer (smallest cached ``tau' > tau``).
+
+The derived answer is *canonically* identical to a fresh computation (same
+``k*``, same arrangement cells identified by ``(cell_order, outscored_by)``)
+but not necessarily *bit*-identical: the quad-tree fragments cells by leaf,
+and a ``tau = 4`` run may split leaves differently than a ``tau = 2`` run
+would.  That is why tau-monotone reuse is an opt-in policy on the service
+(``tau_policy="monotone"``) while the default (``"exact"``) only serves
+exact-key hits and preserves the service's bit-identity contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.result import MaxRankResult
+from ..errors import AlgorithmError
+from ..stats import CostCounters
+
+__all__ = ["QueryCache", "query_key", "derive_lower_tau"]
+
+#: Cache key: (focal identity, tau, algorithm, engine, frozen options).
+CacheKey = Tuple[Hashable, int, str, str, Tuple[Tuple[str, Hashable], ...]]
+
+
+def _focal_identity(focal) -> Hashable:
+    """Hashable identity of a focal argument (index vs. explicit vector).
+
+    An index and the coordinates of the same record are deliberately
+    *distinct* identities: equality of derived answers would hold, but the
+    cache only ever serves results whose inputs were equal as given.
+    """
+    if isinstance(focal, (int, np.integer)):
+        return ("idx", int(focal))
+    vector = np.asarray(focal, dtype=float).ravel()
+    return ("vec", vector.tobytes())
+
+
+def query_key(
+    focal,
+    tau: int,
+    algorithm: str,
+    engine: str,
+    options: Optional[Dict[str, object]] = None,
+) -> CacheKey:
+    """Build the cache key of one query.
+
+    ``options`` are the algorithm tuning knobs (``split_threshold``,
+    ``use_pairwise``, …); anything that can change the reported regions must
+    be part of the key.  Executor/parallelism settings are *not* keyed —
+    results are bit-identical across executors, which is exactly why a
+    result computed at ``jobs=4`` may serve a later serial query.
+    """
+    frozen: List[Tuple[str, Hashable]] = []
+    for name in sorted(options or {}):
+        value = options[name]
+        if isinstance(value, (list, np.ndarray)):
+            value = tuple(np.asarray(value).ravel().tolist())
+        frozen.append((name, value))
+    return (_focal_identity(focal), int(tau), algorithm, engine, tuple(frozen))
+
+
+def derive_lower_tau(result: MaxRankResult, tau: int) -> MaxRankResult:
+    """Derive the ``tau``-answer from a cached answer with a larger slack.
+
+    Keeps every region whose order is within ``tau`` of ``k*`` — the
+    definition of the iMaxRank answer (paper, Definition 2) applied to the
+    superset the cached result already materialised.  ``k*``, the dominator
+    count and the minimum cell order are unchanged by construction.  The
+    derived result carries fresh counters (the CPU was spent by the cached
+    computation, not this call).
+    """
+    if tau > result.tau:
+        raise AlgorithmError(
+            f"cannot derive tau={tau} from a cached tau={result.tau} answer; "
+            f"monotone reuse only narrows the slack"
+        )
+    regions = [region for region in result.regions if region.order <= result.k_star + tau]
+    return MaxRankResult(
+        k_star=result.k_star,
+        regions=regions,
+        dominator_count=result.dominator_count,
+        minimum_cell_order=result.minimum_cell_order,
+        tau=tau,
+        algorithm=result.algorithm,
+        counters=CostCounters(),
+        cpu_seconds=0.0,
+        focal=result.focal,
+    )
+
+
+class QueryCache:
+    """Bounded LRU cache of MaxRank results with optional tau-monotone reuse.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached results; the least recently used entry is
+        evicted first.  ``0`` disables caching (every lookup misses).
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 0:
+            raise AlgorithmError(f"cache maxsize must be >= 0, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.monotone_hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey, *, tau_monotone: bool = False) -> Optional[MaxRankResult]:
+        """Look up a result; ``None`` on a miss.
+
+        With ``tau_monotone=True`` a miss falls back to the tightest cached
+        answer of the same query at a larger ``tau`` and derives the
+        requested answer from it (see :func:`derive_lower_tau`); the derived
+        answer is also inserted so subsequent identical queries hit exactly.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        if tau_monotone:
+            focal_id, tau, algorithm, engine, options = key
+            best: Optional[CacheKey] = None
+            for candidate in self._entries:
+                if (
+                    candidate[0] == focal_id
+                    and candidate[2] == algorithm
+                    and candidate[3] == engine
+                    and candidate[4] == options
+                    and candidate[1] > tau
+                    and (best is None or candidate[1] < best[1])
+                ):
+                    best = candidate
+            if best is not None:
+                derived = derive_lower_tau(self._entries[best], tau)
+                self._entries.move_to_end(best)
+                self.hits += 1
+                self.monotone_hits += 1
+                self.put(key, derived)
+                return derived
+        self.misses += 1
+        return None
+
+    def put(self, key: CacheKey, result: MaxRankResult) -> None:
+        """Insert (or refresh) a result, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached result (hit/miss statistics are kept)."""
+        self._entries.clear()

@@ -1,0 +1,256 @@
+"""Command-line front end of the MaxRank service.
+
+Three subcommands drive the service end-to-end (``python -m repro.service``):
+
+``build``
+    Generate (or load) a dataset, build the R*-tree once and persist the
+    snapshot — the expensive cold-start paid ahead of serving time::
+
+        python -m repro.service build --dist IND --n 400 --d 3 --out idx.rprs
+        python -m repro.service build --real NBA --sample 200 --out nba.rprs
+
+``query``
+    Load a snapshot and answer a batch of queries (explicit focal indices,
+    or a reproducible auto-selected batch with ``--batch``), optionally in
+    parallel (``--jobs``) and optionally re-checking every unique answer
+    against a from-scratch standalone ``maxrank()`` run
+    (``--verify-standalone``, the CI smoke gate)::
+
+        python -m repro.service query --snapshot idx.rprs --focal 3 --focal 17
+        python -m repro.service query --snapshot idx.rprs --batch 16 --jobs 2 \
+            --tau 1 --verify-standalone
+
+``serve``
+    A long-running loop reading JSON queries from stdin, one per line
+    (``{"focal": 5, "tau": 1}`` or ``{"focal": [0.4, 0.3, 0.3]}``), writing
+    JSON answers to stdout — the minimal shape of a network service without
+    binding the library to any transport::
+
+        printf '{"focal": 5}\n{"focal": 5}\n' | \
+            python -m repro.service serve --snapshot idx.rprs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.maxrank import maxrank
+from ..data.generators import generate
+from ..data.realistic import load_real_dataset
+from ..errors import ReproError
+from ..stats import CostCounters
+from .core import MaxRankService, result_fingerprint
+
+__all__ = ["main"]
+
+
+def _build(args: argparse.Namespace) -> int:
+    if args.real:
+        dataset = load_real_dataset(args.real, n=args.sample, seed=args.seed)
+    else:
+        dataset = generate(args.dist, args.n, args.d, seed=args.seed)
+    start = time.perf_counter()
+    service = MaxRankService(dataset)
+    service.save_snapshot(args.out)
+    elapsed = time.perf_counter() - start
+    print(
+        f"built {dataset.name} (n={dataset.n}, d={dataset.d}) and wrote "
+        f"snapshot to {args.out} in {elapsed:.2f}s "
+        f"(tree build {service.tree_build_seconds:.2f}s)"
+    )
+    service.close()
+    return 0
+
+
+def _select_focals(service: MaxRankService, args: argparse.Namespace) -> List[int]:
+    if args.focal:
+        return [int(f) for f in args.focal]
+    from ..experiments.harness import select_focal_records
+
+    unique = args.unique or max(1, args.batch // 2)
+    picks = select_focal_records(service.dataset, unique, seed=args.seed)
+    # Cycle the unique picks to the requested batch size so the batch
+    # exercises the result cache the way repeated user traffic would.
+    return [picks[i % len(picks)] for i in range(args.batch)]
+
+
+def _query(args: argparse.Namespace) -> int:
+    with MaxRankService.from_snapshot(args.snapshot, cache_size=args.cache_size) as service:
+        focals = _select_focals(service, args)
+        start = time.perf_counter()
+        results = service.query_batch(focals, tau=args.tau, jobs=args.jobs)
+        wall = time.perf_counter() - start
+        rows = []
+        for focal, result in zip(focals, results):
+            rows.append(
+                {
+                    "focal": int(focal),
+                    "k_star": result.k_star,
+                    "regions": result.region_count,
+                    "dominators": result.dominator_count,
+                    "tau": result.tau,
+                }
+            )
+        stats = service.stats()
+        if args.json:
+            print(json.dumps({"queries": rows, "wall_s": wall, "stats": stats}))
+        else:
+            for row in rows:
+                print(
+                    f"focal={row['focal']:>6}  k*={row['k_star']:>5}  "
+                    f"|T|={row['regions']:>4}  dominators={row['dominators']}"
+                )
+            print(
+                f"batch of {len(focals)} in {wall:.3f}s — computed "
+                f"{stats['queries_computed']}, cache hits {stats['cache_hits']}, "
+                f"skyline reuse {stats['skyline_reused']}"
+            )
+        if args.verify_standalone:
+            return _verify_standalone(service, focals, results, args)
+    return 0
+
+
+def _verify_standalone(
+    service: MaxRankService,
+    focals: List[int],
+    results,
+    args: argparse.Namespace,
+) -> int:
+    """Re-run every unique query standalone (fresh tree) and compare bit-exactly."""
+    checked = {}
+    failures = 0
+    for focal, served in zip(focals, results):
+        if focal in checked:
+            reference = checked[focal]
+        else:
+            counters = CostCounters()
+            reference = maxrank(
+                service.dataset, int(focal), tau=args.tau, counters=counters
+            )
+            checked[focal] = reference
+        if result_fingerprint(served) != result_fingerprint(reference):
+            print(f"MISMATCH: focal {focal} differs from standalone maxrank()",
+                  file=sys.stderr)
+            failures += 1
+    label = "jobs=%s" % (args.jobs or 1)
+    if failures:
+        print(f"verify-standalone: {failures} mismatches ({label})", file=sys.stderr)
+        return 1
+    print(
+        f"verify-standalone: all {len(checked)} unique queries bit-identical "
+        f"to standalone maxrank() ({label}, batch {len(focals)})"
+    )
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    with MaxRankService.from_snapshot(args.snapshot, cache_size=args.cache_size) as service:
+        meta = {
+            "ready": True,
+            "dataset": service.dataset.name,
+            "n": service.dataset.n,
+            "d": service.dataset.d,
+        }
+        print(json.dumps(meta), flush=True)
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError(
+                        "request must be a JSON object, e.g. {\"focal\": 5}"
+                    )
+                if request.get("cmd") == "stats":
+                    print(json.dumps(service.stats()), flush=True)
+                    continue
+                if request.get("cmd") == "quit":
+                    break
+                focal = request["focal"]
+                if isinstance(focal, list):
+                    focal = np.asarray(focal, dtype=float)
+                hits_before = service.cache.hits
+                result = service.query(focal, tau=int(request.get("tau", 0)))
+                answer = {
+                    "k_star": result.k_star,
+                    "regions": result.region_count,
+                    "dominators": result.dominator_count,
+                    "tau": result.tau,
+                    "cache_hit": service.cache.hits > hits_before,
+                    "representative": [
+                        round(float(w), 9)
+                        for w in result.regions[0].representative_query()
+                    ]
+                    if result.regions
+                    else None,
+                }
+                print(json.dumps(answer), flush=True)
+            except (ReproError, KeyError, ValueError, TypeError) as exc:
+                print(json.dumps({"error": str(exc)}), flush=True)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__.split("\n", 1)[0],
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build a dataset snapshot")
+    build.add_argument("--dist", default="IND", choices=("IND", "COR", "ANTI"),
+                       help="synthetic distribution (default IND)")
+    build.add_argument("--n", type=int, default=400, help="records (default 400)")
+    build.add_argument("--d", type=int, default=3, help="attributes (default 3)")
+    build.add_argument("--real", default=None, metavar="NAME",
+                       help="use a simulated real dataset (NBA, HOTEL, ...) "
+                            "instead of a synthetic one")
+    build.add_argument("--sample", type=int, default=None, metavar="N",
+                       help="sample size for --real datasets")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--out", required=True, help="snapshot output path")
+    build.set_defaults(handler=_build)
+
+    query = commands.add_parser("query", help="answer a batch from a snapshot")
+    query.add_argument("--snapshot", required=True)
+    query.add_argument("--focal", action="append", type=int, metavar="IDX",
+                       help="explicit focal record index (repeatable)")
+    query.add_argument("--batch", type=int, default=16,
+                       help="auto-selected batch size when no --focal is given "
+                            "(default 16)")
+    query.add_argument("--unique", type=int, default=None,
+                       help="unique focals in the auto batch (default batch/2, "
+                            "so the batch exercises the result cache)")
+    query.add_argument("--tau", type=int, default=0)
+    query.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="whole-query process parallelism for the batch")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--cache-size", type=int, default=256)
+    query.add_argument("--json", action="store_true", help="machine-readable output")
+    query.add_argument("--verify-standalone", action="store_true",
+                       help="re-run every unique query standalone and require "
+                            "bit-identical answers (CI smoke gate)")
+    query.set_defaults(handler=_query)
+
+    serve = commands.add_parser("serve", help="serve JSON queries from stdin")
+    serve.add_argument("--snapshot", required=True)
+    serve.add_argument("--cache-size", type=int, default=256)
+    serve.set_defaults(handler=_serve)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,415 @@
+"""The persistent, cache-aware MaxRank query service.
+
+Standalone :func:`repro.maxrank` is shaped like the paper's experiments: one
+query, all dataset-level state (R*-tree, BBS passes) built from scratch and
+thrown away.  :class:`MaxRankService` is the serving-layer shape: it owns a
+dataset for its lifetime and amortises everything that does not depend on
+the focal record across the queries it answers —
+
+* the **R*-tree** is built once (or loaded from a snapshot; see
+  :func:`repro.index.diskio.save_snapshot`) and shared by every query;
+* the **BBS skyline passes** share a warm
+  :class:`~repro.skyline.bbs.SkylineCache`, so per-query dominance passes
+  stop recomputing the traversal keys the first query already paid for;
+* **results** land in an LRU :class:`~repro.service.cache.QueryCache`, so
+  repeated queries are answered without touching the algorithms at all, and
+  (opt-in) lower-``tau`` queries are derived from cached superset answers;
+* **batches** (:meth:`MaxRankService.query_batch`) run their cache-missing
+  queries through the execution engine's executors — whole queries as work
+  units — with deterministic submission-order merge.
+
+Identity contract
+-----------------
+Every answer the service computes or serves from an exact cache hit is
+**bit-identical** to a standalone ``maxrank()`` call with the same
+parameters: same ``k*``, same regions (including representative-point
+bytes), same engine-invariant cost counters.  Service-layer counters
+(``cache_hits``, ``cache_misses``, ``skyline_reused``) are additional keys,
+zero in standalone runs.  The one deliberate exception is the opt-in
+``tau_policy="monotone"`` derivation, which guarantees canonical identity
+(same ``k*``, same arrangement cells) but may fragment regions differently
+— see :mod:`repro.service.cache`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.maxrank import maxrank
+from ..core.result import MaxRankResult
+from ..data.dataset import Dataset
+from ..engine.executors import LeafTaskExecutor, make_executor
+from ..errors import AlgorithmError
+from ..index.diskio import load_snapshot, save_snapshot
+from ..index.rstar import RStarTree
+from ..skyline.bbs import SkylineCache
+from ..stats import CostCounters
+from .batch import QueryTask, register_state, unregister_state
+from .cache import QueryCache, query_key
+
+__all__ = ["MaxRankService", "result_fingerprint"]
+
+Focal = Union[int, Sequence[float], np.ndarray]
+
+#: Valid tau reuse policies of the result cache.
+TAU_POLICIES = ("exact", "monotone")
+
+
+def result_fingerprint(result: MaxRankResult):
+    """Bit-exact identity of a result: ``k*`` plus every region's order,
+    outscored set and representative-query bytes, in canonical order.
+
+    Two results with equal fingerprints are interchangeable answers down to
+    the representative preference vectors.  Used by the differential tests
+    and the CLI's ``--verify-standalone`` smoke mode.
+    """
+    return (
+        result.k_star,
+        result.dominator_count,
+        result.minimum_cell_order,
+        sorted(
+            (
+                region.cell_order,
+                tuple(region.outscored_by),
+                region.representative_query().tobytes(),
+            )
+            for region in result.regions
+        ),
+    )
+
+
+class MaxRankService:
+    """A long-lived MaxRank query service over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to own.  The R*-tree is built immediately (unless
+        supplied), so construction cost is the cold-start cost.
+    tree:
+        Optional pre-built R*-tree over ``dataset.records`` (record ids must
+        be row indices, as produced by :meth:`RStarTree.build`).
+    algorithm / engine:
+        Defaults applied to every query (overridable per call); the usual
+        :func:`repro.maxrank` values.
+    cache_size:
+        LRU result-cache capacity (``0`` disables result caching).
+    tau_policy:
+        ``"exact"`` (default) — only exact-key cache hits, preserving the
+        bit-identity contract.  ``"monotone"`` — additionally derive
+        lower-``tau`` answers from cached superset answers (canonical
+        identity only; see :mod:`repro.service.cache`).
+    name:
+        Optional service label (defaults to the dataset name).
+
+    Use as a context manager (or call :meth:`close`) to release the batch
+    process pools and the shared-state registration.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        tree: Optional[RStarTree] = None,
+        algorithm: str = "auto",
+        engine: str = "auto",
+        cache_size: int = 256,
+        tau_policy: str = "exact",
+        name: Optional[str] = None,
+    ) -> None:
+        if tau_policy not in TAU_POLICIES:
+            raise AlgorithmError(
+                f"unknown tau_policy {tau_policy!r}; choose one of {TAU_POLICIES}"
+            )
+        self.dataset = dataset
+        self.algorithm = algorithm
+        self.engine = engine
+        self.tau_policy = tau_policy
+        self.name = name or dataset.name
+        build_start = time.perf_counter()
+        self.tree = tree if tree is not None else RStarTree.build(dataset.records)
+        self.tree_build_seconds = (
+            time.perf_counter() - build_start if tree is None else 0.0
+        )
+        self.skyline_cache = SkylineCache(self.tree)
+        self.cache = QueryCache(cache_size)
+        #: Aggregate counters over every query the service answered
+        #: (computed queries merge their full cost; cache hits charge only
+        #: ``cache_hits``).
+        self.counters = CostCounters()
+        self.queries_served = 0
+        self.queries_computed = 0
+        self.batches_served = 0
+        self._token = register_state(dataset, self.tree, self.skyline_cache)
+        self._executors: Dict[int, LeafTaskExecutor] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    @classmethod
+    def from_snapshot(cls, path: Union[str, Path], **kwargs) -> "MaxRankService":
+        """Cold-start a service from a snapshot file (no STR rebuild).
+
+        The snapshot (see :func:`repro.index.diskio.load_snapshot`) restores
+        the record matrix, the dataset identity (name, attribute names) and
+        a node-for-node identical R*-tree, so a service loaded from disk
+        answers every query byte-identically to the service that saved it.
+        """
+        payload = load_snapshot(path)
+        metadata = payload.metadata
+        dataset = Dataset(
+            payload.records,
+            attribute_names=metadata.get("attribute_names"),
+            name=str(metadata.get("dataset_name", "dataset")),
+        )
+        service = cls(dataset, tree=payload.tree, **kwargs)
+        return service
+
+    def save_snapshot(self, path: Union[str, Path]) -> None:
+        """Persist the record matrix and built R*-tree to ``path``."""
+        metadata: Dict[str, object] = {"dataset_name": self.dataset.name}
+        if self.dataset.attribute_names is not None:
+            metadata["attribute_names"] = list(self.dataset.attribute_names)
+        save_snapshot(path, self.tree, self.dataset.records, metadata=metadata)
+
+    def close(self) -> None:
+        """Release process pools and the shared-state registration (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        unregister_state(self._token)
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    def __enter__(self) -> "MaxRankService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self.dataset.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MaxRankService(name={self.name!r}, n={self.dataset.n}, "
+            f"d={self.dataset.d}, cached={len(self.cache)}, "
+            f"served={self.queries_served})"
+        )
+
+    # -------------------------------------------------------------- queries
+    def _key(self, focal: Focal, tau: int, algorithm: str, engine: str, options):
+        return query_key(focal, tau, algorithm, engine, options)
+
+    def _compute(
+        self,
+        focal: Focal,
+        tau: int,
+        algorithm: str,
+        engine: str,
+        options: Dict[str, object],
+        jobs: Optional[int] = None,
+    ) -> MaxRankResult:
+        counters = CostCounters()
+        counters.cache_misses += 1
+        result = maxrank(
+            self.dataset,
+            focal,
+            algorithm=algorithm,
+            engine=engine,
+            tau=tau,
+            tree=self.tree,
+            counters=counters,
+            jobs=jobs,
+            skyline_cache=self.skyline_cache,
+            **options,
+        )
+        return result
+
+    def query(
+        self,
+        focal: Focal,
+        *,
+        tau: int = 0,
+        algorithm: Optional[str] = None,
+        engine: Optional[str] = None,
+        use_cache: bool = True,
+        jobs: Optional[int] = None,
+        **options,
+    ) -> MaxRankResult:
+        """Answer one MaxRank / iMaxRank query against the owned dataset.
+
+        Identical semantics to :func:`repro.maxrank` with the service's
+        dataset and warm state; ``jobs`` parallelises *within* the query
+        (leaf tasks).  Cached answers are returned as stored — treat results
+        as read-only, as two calls may share region objects.
+        """
+        if self._closed:
+            raise AlgorithmError("the service is closed")
+        algorithm = algorithm or self.algorithm
+        engine = engine or self.engine
+        key = self._key(focal, tau, algorithm, engine, options)
+        self.queries_served += 1
+        if use_cache:
+            cached = self.cache.get(
+                key, tau_monotone=self.tau_policy == "monotone"
+            )
+            if cached is not None:
+                self.counters.cache_hits += 1
+                return cached
+        result = self._compute(focal, tau, algorithm, engine, options, jobs=jobs)
+        self.queries_computed += 1
+        self.counters += result.counters
+        if use_cache:
+            self.cache.put(key, result)
+        return result
+
+    def query_batch(
+        self,
+        focals: Sequence[Focal],
+        *,
+        tau: int = 0,
+        algorithm: Optional[str] = None,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        use_cache: bool = True,
+        **options,
+    ) -> List[MaxRankResult]:
+        """Answer a batch of queries, amortising and (optionally) parallelising.
+
+        Duplicate focal records within the batch are always computed once —
+        even with ``use_cache=False``, which only bypasses the *persistent*
+        result cache, not the batch-local dedup.  Cached answers (from this
+        batch, earlier batches or single queries) are served without
+        computation.  With ``jobs >= 2`` the cache-missing queries run as
+        whole-query tasks on the execution engine's process pool — results
+        are merged in submission order and are bit-identical to a serial
+        batch, which in turn is bit-identical to standalone ``maxrank()``
+        calls.
+
+        Returns one result per input focal, in input order.
+        """
+        if self._closed:
+            raise AlgorithmError("the service is closed")
+        algorithm = algorithm or self.algorithm
+        engine = engine or self.engine
+        self.batches_served += 1
+
+        if jobs is None or jobs <= 1:
+            # Same dedup semantics as the parallel path: occurrences beyond
+            # the first of a key are served from the batch-local map.
+            local: Dict[object, MaxRankResult] = {}
+            ordered: List[MaxRankResult] = []
+            for focal in focals:
+                key = self._key(focal, tau, algorithm, engine, options)
+                if key in local:
+                    self.queries_served += 1
+                    if use_cache:
+                        self.counters.cache_hits += 1
+                    ordered.append(local[key])
+                    continue
+                result = self.query(
+                    focal,
+                    tau=tau,
+                    algorithm=algorithm,
+                    engine=engine,
+                    use_cache=use_cache,
+                    **options,
+                )
+                local[key] = result
+                ordered.append(result)
+            return ordered
+
+        # Whole-query parallelism: dedupe, serve hits, schedule the misses.
+        keys = [self._key(focal, tau, algorithm, engine, options) for focal in focals]
+        results: Dict[object, MaxRankResult] = {}
+        pending: List[Focal] = []
+        pending_keys: List[object] = []
+        for focal, key in zip(focals, keys):
+            if key in results or key in pending_keys:
+                continue
+            cached = (
+                self.cache.get(key, tau_monotone=self.tau_policy == "monotone")
+                if use_cache
+                else None
+            )
+            if cached is not None:
+                self.counters.cache_hits += 1
+                results[key] = cached
+            else:
+                pending.append(focal)
+                pending_keys.append(key)
+
+        if pending:
+            frozen_options = tuple(sorted(options.items()))
+            tasks = [self._make_task(focal, tau, algorithm, engine, frozen_options)
+                     for focal in pending]
+            executor = self._executors.get(jobs)
+            if executor is None:
+                executor = make_executor(jobs)
+                self._executors[jobs] = executor
+            for key, result in zip(pending_keys, executor.run(tasks)):
+                self.queries_computed += 1
+                self.counters += result.counters
+                if use_cache:
+                    self.cache.put(key, result)
+                results[key] = result
+
+        self.queries_served += len(keys)
+        # Occurrences beyond the first of each key are served from the
+        # batch-local result map; with caching on, the aggregate counters
+        # report that amortisation as cache hits (matching the serial
+        # path).  With use_cache=False nothing is attributed to the cache.
+        if use_cache:
+            self.counters.cache_hits += len(keys) - len(results)
+        return [results[key] for key in keys]
+
+    def _make_task(
+        self,
+        focal: Focal,
+        tau: int,
+        algorithm: str,
+        engine: str,
+        frozen_options,
+    ) -> QueryTask:
+        if isinstance(focal, (int, np.integer)):
+            return QueryTask(
+                self._token,
+                focal_index=int(focal),
+                tau=tau,
+                algorithm=algorithm,
+                engine=engine,
+                options=frozen_options,
+            )
+        return QueryTask(
+            self._token,
+            focal_vector=np.asarray(focal, dtype=float).ravel(),
+            tau=tau,
+            algorithm=algorithm,
+            engine=engine,
+            options=frozen_options,
+        )
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, object]:
+        """Service-level statistics (cache behaviour, amortisation, sizes)."""
+        return {
+            "name": self.name,
+            "n": self.dataset.n,
+            "d": self.dataset.d,
+            "queries_served": self.queries_served,
+            "queries_computed": self.queries_computed,
+            "batches_served": self.batches_served,
+            "cache_hits": self.counters.cache_hits,
+            "cache_misses": self.counters.cache_misses,
+            "cache_monotone_hits": self.cache.monotone_hits,
+            "cache_evictions": self.cache.evictions,
+            "cache_entries": len(self.cache),
+            "skyline_reused": self.counters.skyline_reused,
+            "skyline_nodes_warm": len(self.skyline_cache),
+            "tree_build_seconds": round(self.tree_build_seconds, 6),
+        }

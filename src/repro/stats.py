@@ -80,6 +80,18 @@ class CostCounters:
     leaves_processed / leaves_pruned:
         Quad-tree leaves that underwent within-leaf processing vs. leaves
         pruned by the |F_l| bound.
+    cache_hits / cache_misses:
+        Service-layer result-cache outcomes (:mod:`repro.service`): queries
+        answered from the LRU result cache vs. queries that had to be
+        computed.  Always zero for standalone :func:`repro.core.maxrank.maxrank`
+        calls — these keys exist so one counter dump describes a whole
+        service batch; they are *not* engine-invariant and are excluded from
+        the differential equivalence checks.
+    skyline_reused:
+        BBS node expansions whose child entry keys were served from a warm
+        per-dataset :class:`~repro.skyline.bbs.SkylineCache` instead of
+        being recomputed.  Zero for cold standalone queries (nothing is
+        warm); a service-layer key like ``cache_hits``.
 
     The object is *mergeable*: :meth:`merge` / ``+=`` add another bundle's
     counts, timers and page set into this one, and merging is associative
@@ -108,6 +120,9 @@ class CostCounters:
     leaves_pruned: int = 0
     skyline_updates: int = 0
     iterations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    skyline_reused: int = 0
     _seen_pages: set = field(default_factory=set, repr=False)
     _timers: Dict[str, float] = field(default_factory=dict, repr=False)
     _timer_starts: Dict[str, float] = field(default_factory=dict, repr=False)
@@ -173,6 +188,9 @@ class CostCounters:
             "leaves_pruned": self.leaves_pruned,
             "skyline_updates": self.skyline_updates,
             "iterations": self.iterations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "skyline_reused": self.skyline_reused,
         }
         for name, seconds in self._timers.items():
             out[f"time_{name}"] = seconds
@@ -199,6 +217,9 @@ class CostCounters:
         self.leaves_pruned += other.leaves_pruned
         self.skyline_updates += other.skyline_updates
         self.iterations += other.iterations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.skyline_reused += other.skyline_reused
         self._seen_pages.update(other._seen_pages)
         for name, seconds in other._timers.items():
             self._timers[name] = self._timers.get(name, 0.0) + seconds

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import CostCounters, Dataset, generate_anticorrelated, generate_independent
+from repro.errors import AlgorithmError
 from repro.index import RStarTree
 from repro.skyline import (
     IncrementalSkyline,
@@ -19,6 +20,7 @@ from repro.skyline import (
     naive_skyline,
     partition_by_dominance,
 )
+from repro.skyline.bbs import SkylineCache
 
 
 class TestDominates:
@@ -126,6 +128,102 @@ class TestBBS:
         newly = incremental.exclude(victim)
         for record in newly:
             assert record.record_id not in before
+
+    @pytest.mark.parametrize("dist,seed", [
+        ("ANTI", 0), ("ANTI", 1), ("IND", 2),
+    ])
+    def test_exhaustive_exclusion_matches_naive_at_every_step(self, dist, seed):
+        """Exclude *every* record, one skyline member at a time.
+
+        This drives the resumable-scan bookkeeping through its worst case —
+        entries bouncing between blockers across dozens of excludes — and
+        checks the skyline against the quadratic oracle after every single
+        update until the dataset is exhausted.
+        """
+        generator = generate_anticorrelated if dist == "ANTI" else generate_independent
+        data = generator(60, 3, seed=seed)
+        tree = RStarTree.build(data.records, max_entries=8)
+        incremental = IncrementalSkyline(tree)
+        incremental.compute()
+        excluded: set = set()
+        while incremental.skyline:
+            victim = min(record.record_id for record in incremental.skyline)
+            excluded.add(victim)
+            incremental.exclude(victim)
+            remaining = [i for i in range(data.n) if i not in excluded]
+            expected = {remaining[i]
+                        for i in naive_skyline(data.records[remaining])}
+            got = {record.record_id for record in incremental.skyline}
+            assert got == expected
+        assert excluded == set(range(data.n))
+
+    def test_exclusion_with_accept_filter(self):
+        data = generate_anticorrelated(80, 3, seed=3)
+        tree = RStarTree.build(data.records, max_entries=8)
+        keep = lambda record_id, point: record_id % 3 != 0
+        incremental = IncrementalSkyline(tree, accept=keep)
+        incremental.compute()
+        excluded: set = set()
+        for _ in range(10):
+            if not incremental.skyline:
+                break
+            victim = max(record.record_id for record in incremental.skyline)
+            excluded.add(victim)
+            incremental.exclude(victim)
+            remaining = [i for i in range(data.n)
+                         if i not in excluded and i % 3 != 0]
+            expected = {remaining[i]
+                        for i in naive_skyline(data.records[remaining])}
+            assert {r.record_id for r in incremental.skyline} == expected
+
+
+class TestSkylineCache:
+    def test_warm_pass_is_identical_and_counts_reuse(self):
+        data = generate_independent(400, 3, seed=12)
+        tree = RStarTree.build(data.records, max_entries=10)
+        cache = SkylineCache(tree)
+
+        cold_counters = CostCounters()
+        cold = IncrementalSkyline(tree, counters=cold_counters, cache=cache).compute()
+        assert cold_counters.skyline_reused == 0   # cache was empty
+
+        warm_counters = CostCounters()
+        warm = IncrementalSkyline(tree, counters=warm_counters, cache=cache).compute()
+        assert warm_counters.skyline_reused > 0
+        assert [r.record_id for r in warm] == [r.record_id for r in cold]
+        # Simulated I/O is still charged in full on the warm pass.
+        assert warm_counters.page_reads == cold_counters.page_reads
+
+        reference = {r.record_id for r in bbs_skyline(tree)}
+        assert {r.record_id for r in warm} == reference
+
+    def test_warm_exclusion_sequence_matches_cold(self):
+        data = generate_anticorrelated(120, 3, seed=5)
+        tree = RStarTree.build(data.records, max_entries=8)
+        cache = SkylineCache(tree)
+
+        def run(with_cache):
+            sky = IncrementalSkyline(tree, cache=cache if with_cache else None)
+            trace = [sorted(r.record_id for r in sky.compute())]
+            for _ in range(8):
+                if not sky.skyline:
+                    break
+                victim = min(r.record_id for r in sky.skyline)
+                sky.exclude(victim)
+                trace.append(sorted(r.record_id for r in sky.skyline))
+            return trace
+
+        cold = run(with_cache=False)
+        run(with_cache=True)        # fills the cache
+        warm = run(with_cache=True)
+        assert warm == cold
+
+    def test_cache_rejects_foreign_tree(self):
+        first = RStarTree.build(generate_independent(50, 3, seed=0).records)
+        second = RStarTree.build(generate_independent(50, 3, seed=1).records)
+        cache = SkylineCache(first)
+        with pytest.raises(AlgorithmError, match="different R\\*-tree"):
+            IncrementalSkyline(second, cache=cache)
 
 
 class TestSkyband:

@@ -1,0 +1,178 @@
+"""Tests for R*-tree + record-matrix snapshot persistence (index/diskio)."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro import CostCounters, Dataset, generate, maxrank
+from repro.errors import SnapshotError
+from repro.index import RStarTree, load_snapshot, save_snapshot
+from repro.index.diskio import SNAPSHOT_MAGIC, SNAPSHOT_VERSION
+
+
+def assert_trees_identical(a, b):
+    """Node-for-node structural identity: levels, pages, entries, MBRs, counts."""
+    stack = [(a.root, b.root)]
+    while stack:
+        left, right = stack.pop()
+        assert left.level == right.level
+        assert left.page_id == right.page_id
+        assert len(left.entries) == len(right.entries)
+        assert left.count == right.count
+        assert np.array_equal(left.mbr.lower, right.mbr.lower)
+        assert np.array_equal(left.mbr.upper, right.mbr.upper)
+        if left.is_leaf:
+            for x, y in zip(left.entries, right.entries):
+                assert x.record_id == y.record_id
+                assert np.array_equal(x.point, y.point)
+        else:
+            stack.extend(zip(left.entries, right.entries))
+
+
+@pytest.fixture
+def snapshot_case(tmp_path):
+    dataset = generate("ANTI", 400, 4, seed=3)
+    tree = RStarTree.build(dataset.records)
+    path = tmp_path / "tree.rprs"
+    save_snapshot(path, tree, dataset.records,
+                  metadata={"dataset_name": dataset.name})
+    return dataset, tree, path
+
+
+class TestRoundTrip:
+    def test_tree_is_node_for_node_identical(self, snapshot_case):
+        dataset, tree, path = snapshot_case
+        payload = load_snapshot(path)
+        assert_trees_identical(tree, payload.tree)
+        assert payload.tree.size == tree.size
+        assert payload.tree.height == tree.height
+        assert payload.tree.node_count() == tree.node_count()
+
+    def test_disk_and_capacity_state_restored(self, snapshot_case):
+        _, tree, path = snapshot_case
+        loaded = load_snapshot(path).tree
+        assert loaded.disk.page_size == tree.disk.page_size
+        assert loaded.disk.pages_allocated == tree.disk.pages_allocated
+        assert loaded._leaf_capacity == tree._leaf_capacity
+        assert loaded._internal_capacity == tree._internal_capacity
+
+    def test_records_and_metadata_round_trip(self, snapshot_case):
+        dataset, _, path = snapshot_case
+        payload = load_snapshot(path)
+        assert np.array_equal(payload.records, np.asarray(dataset.records))
+        assert payload.metadata["dataset_name"] == dataset.name
+
+    def test_attribute_names_round_trip(self, tmp_path):
+        dataset = Dataset([[0.1, 0.9], [0.8, 0.2], [0.5, 0.5]],
+                          attribute_names=("price", "rating"), name="HOTEL")
+        tree = RStarTree.build(dataset.records)
+        path = tmp_path / "named.rprs"
+        save_snapshot(path, tree, dataset.records,
+                      metadata={"dataset_name": dataset.name,
+                                "attribute_names": list(dataset.attribute_names)})
+        payload = load_snapshot(path)
+        assert tuple(payload.metadata["attribute_names"]) == ("price", "rating")
+
+    def test_query_results_byte_identical(self, snapshot_case):
+        dataset, tree, path = snapshot_case
+        payload = load_snapshot(path)
+        reloaded = Dataset(payload.records, name=dataset.name)
+        for focal, tau in ((3, 0), (11, 2)):
+            original_counters = CostCounters()
+            original = maxrank(dataset, focal, tau=tau, tree=tree,
+                               counters=original_counters)
+            loaded_counters = CostCounters()
+            loaded = maxrank(reloaded, focal, tau=tau, tree=payload.tree,
+                             counters=loaded_counters)
+            assert original.k_star == loaded.k_star
+            assert sorted(
+                (r.cell_order, r.outscored_by, r.representative_query().tobytes())
+                for r in original.regions
+            ) == sorted(
+                (r.cell_order, r.outscored_by, r.representative_query().tobytes())
+                for r in loaded.regions
+            )
+            original_dump = {k: v for k, v in original_counters.as_dict().items()
+                             if not k.startswith("time_")}
+            loaded_dump = {k: v for k, v in loaded_counters.as_dict().items()
+                           if not k.startswith("time_")}
+            assert original_dump == loaded_dump
+
+    def test_insert_built_tree_round_trips(self, tmp_path):
+        dataset = generate("IND", 120, 3, seed=5)
+        tree = RStarTree.build(dataset.records, method="insert", max_entries=8)
+        path = tmp_path / "inserted.rprs"
+        save_snapshot(path, tree, dataset.records)
+        assert_trees_identical(tree, load_snapshot(path).tree)
+
+
+class TestSaveValidation:
+    def test_rejects_tree_over_different_matrix(self, tmp_path):
+        dataset = generate("IND", 50, 3, seed=1)
+        other = generate("IND", 50, 3, seed=2)
+        tree = RStarTree.build(dataset.records)
+        with pytest.raises(SnapshotError, match="not a row"):
+            save_snapshot(tmp_path / "bad.rprs", tree, other.records)
+
+    def test_rejects_dimension_mismatch(self, tmp_path):
+        dataset = generate("IND", 50, 3, seed=1)
+        tree = RStarTree.build(dataset.records)
+        with pytest.raises(SnapshotError, match="dimension"):
+            save_snapshot(tmp_path / "bad.rprs", tree,
+                          np.random.default_rng(0).random((50, 4)))
+
+    def test_rejects_empty_records(self, tmp_path):
+        dataset = generate("IND", 50, 3, seed=1)
+        tree = RStarTree.build(dataset.records)
+        with pytest.raises(SnapshotError, match="non-empty"):
+            save_snapshot(tmp_path / "bad.rprs", tree,
+                          np.empty((0, 3)))
+
+
+class TestCorruption:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot open"):
+            load_snapshot(tmp_path / "nope.rprs")
+
+    def test_bad_magic(self, snapshot_case, tmp_path):
+        _, _, path = snapshot_case
+        data = path.read_bytes()
+        bad = tmp_path / "magic.rprs"
+        bad.write_bytes(b"NOTASNAP" + data[8:])
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(bad)
+
+    def test_unsupported_version(self, snapshot_case, tmp_path):
+        _, _, path = snapshot_case
+        data = path.read_bytes()
+        bad = tmp_path / "version.rprs"
+        bad.write_bytes(SNAPSHOT_MAGIC + struct.pack("<I", SNAPSHOT_VERSION + 7)
+                        + data[12:])
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(bad)
+
+    def test_truncation(self, snapshot_case, tmp_path):
+        _, _, path = snapshot_case
+        data = path.read_bytes()
+        for cut in (10, len(data) // 3, len(data) - 20):
+            bad = tmp_path / f"cut{cut}.rprs"
+            bad.write_bytes(data[:cut])
+            with pytest.raises(SnapshotError):
+                load_snapshot(bad)
+
+    def test_corrupted_payload_byte_raises_not_garbage(self, snapshot_case, tmp_path):
+        """Flipping any payload byte must raise, never return a wrong tree."""
+        _, _, path = snapshot_case
+        data = bytearray(path.read_bytes())
+        # A spread of offsets across the records array and the node tables.
+        offsets = [len(data) // 4, len(data) // 2, 3 * len(data) // 4, len(data) - 9]
+        for offset in offsets:
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0xFF
+            bad = tmp_path / f"flip{offset}.rprs"
+            bad.write_bytes(bytes(corrupted))
+            with pytest.raises(SnapshotError):
+                load_snapshot(bad)
