@@ -152,6 +152,14 @@ WORK_COUNTERS = (
 #: on worker scheduling.
 SERVICE_MIN_COUNTERS = ("cache_hits", "skyline_reused")
 
+#: Robustness counters that must stay at their committed value (normally 0)
+#: on the fault-free benchmark workload: a worker retry, a serial
+#: degradation or a deadline check on the happy path means fault-handling
+#: machinery leaked into the no-fault code path.  Entries absent from an
+#: older committed baseline default to 0, so the gate binds without
+#: regenerating the baseline file.
+ROBUSTNESS_ZERO_COUNTERS = ("worker_retries", "degraded_batches", "deadline_checks")
+
 
 @dataclass(frozen=True)
 class ServiceBenchConfig:
@@ -255,6 +263,9 @@ def run_config(
         "screen_rejects": int(counters.get("screen_rejects", 0)),
         "lines_inserted": int(counters.get("lines_inserted", 0)),
         "faces_enumerated": int(counters.get("faces_enumerated", 0)),
+        "worker_retries": int(counters.get("worker_retries", 0)),
+        "degraded_batches": int(counters.get("degraded_batches", 0)),
+        "deadline_checks": int(counters.get("deadline_checks", 0)),
         "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
     }
 
@@ -334,6 +345,9 @@ def run_service_config(
         "screen_rejects": int(counters.get("screen_rejects", 0)),
         "lines_inserted": int(counters.get("lines_inserted", 0)),
         "faces_enumerated": int(counters.get("faces_enumerated", 0)),
+        "worker_retries": int(counters.get("worker_retries", 0)),
+        "degraded_batches": int(counters.get("degraded_batches", 0)),
+        "deadline_checks": int(counters.get("deadline_checks", 0)),
         "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
     }
 
@@ -425,6 +439,15 @@ def compare(
                         f"{key}: {counter} dropped {base_value:.0f} -> {value:.0f} "
                         f"(lost service amortisation)"
                     )
+        for counter in ROBUSTNESS_ZERO_COUNTERS:
+            base_value = float(base.get(counter, 0))
+            value = float(entry.get(counter, 0))
+            if value > base_value:
+                failures.append(
+                    f"{key}: {counter} is {value:.0f} on the fault-free "
+                    f"workload (committed {base_value:.0f}) — fault-handling "
+                    f"work leaked into the happy path"
+                )
         if (
             wall_gate
             and base_calibration > 0

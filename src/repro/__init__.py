@@ -37,7 +37,8 @@ from .data.generators import (
     generate_independent,
 )
 from .data.realistic import REAL_DATASETS, load_real_dataset
-from .errors import ReproError
+from .engine.deadline import Deadline
+from .errors import QueryTimeoutError, ReproError
 from .index.rstar import RStarTree
 from .service.core import MaxRankService
 from .stats import CostCounters
@@ -63,6 +64,8 @@ __all__ = [
     "RStarTree",
     "MaxRankService",
     "CostCounters",
+    "Deadline",
     "ReproError",
+    "QueryTimeoutError",
     "__version__",
 ]

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.deadline import Deadline
 from ..engine.executors import LeafTaskExecutor, resolve_executor
 from ..errors import AlgorithmError
 from ..geometry.halfspace import halfspace_for_record
@@ -57,6 +58,7 @@ def aa_maxrank(
     use_planar: bool = False,
     executor: Optional[LeafTaskExecutor] = None,
     skyline_cache: Optional[SkylineCache] = None,
+    deadline: Optional[Deadline] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the advanced approach (``d ≥ 3``).
 
@@ -109,6 +111,12 @@ def aa_maxrank(
         (shared across queries by :mod:`repro.service`).  A pure CPU memo
         for the BBS passes; results and engine-invariant counters are
         identical with and without it.
+    deadline:
+        Optional wall-clock budget (:class:`~repro.engine.deadline.Deadline`).
+        Checked at the start, once per AA iteration, once per scan priority
+        level and inside the within-leaf funnel; expiry raises
+        :class:`~repro.errors.QueryTimeoutError` carrying the partial
+        counters.  ``None`` disables every checkpoint (zero overhead).
 
     Returns
     -------
@@ -135,6 +143,8 @@ def aa_maxrank(
         dataset, focal, tree=tree, counters=counters, skyline_cache=skyline_cache
     )
     counters = accessor.counters
+    if deadline is not None:
+        deadline.check(counters, "aa_start")
 
     dominators = accessor.dominator_count()
     reduced_dim = dataset.d - 1
@@ -194,6 +204,8 @@ def aa_maxrank(
     with counters.timer("within_leaf"):
         for _ in range(_MAX_ITERATIONS):
             counters.iterations += 1
+            if deadline is not None:
+                deadline.check(counters, "aa_iteration")
             scan_best, cells = collect_cells(
                 quadtree,
                 tau=tau,
@@ -202,6 +214,7 @@ def aa_maxrank(
                 counters=counters,
                 cache=leaf_cache,
                 executor=executor,
+                deadline=deadline,
             )
             if scan_best is None:
                 break

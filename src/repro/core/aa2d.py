@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.deadline import Deadline
 from ..errors import AlgorithmError
 from ..geometry.halfspace import halfspace_for_record
 from ..geometry.interval import Interval
@@ -187,6 +188,7 @@ def aa2d_maxrank(
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
     skyline_cache: Optional[SkylineCache] = None,
+    deadline: Optional[Deadline] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the 2-dimensional advanced approach.
 
@@ -204,6 +206,8 @@ def aa2d_maxrank(
         dataset, focal, tree=tree, counters=counters, skyline_cache=skyline_cache
     )
     counters = accessor.counters
+    if deadline is not None:
+        deadline.check(counters, "aa2d_start")
 
     dominators = accessor.dominator_count()
     skyline = accessor.incremental_skyline()
@@ -228,6 +232,8 @@ def aa2d_maxrank(
     with counters.timer("arrangement"):
         while True:
             counters.iterations += 1
+            if deadline is not None:
+                deadline.check(counters, "aa2d_iteration")
             cells = arrangement.cells(collect_extra=tau)
             if not cells:
                 break

@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.deadline import Deadline
 from ..engine.executors import LeafTaskExecutor
 from ..errors import AlgorithmError
 from ..index.rstar import RStarTree
@@ -62,6 +63,7 @@ def aa3d_maxrank(
     use_pairwise: bool = True,
     executor: Optional[LeafTaskExecutor] = None,
     skyline_cache: Optional[SkylineCache] = None,
+    deadline: Optional[Deadline] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the planar-sweep AA (``d = 3``).
 
@@ -96,6 +98,7 @@ def aa3d_maxrank(
         use_planar=True,
         executor=executor,
         skyline_cache=skyline_cache,
+        deadline=deadline,
     )
     result.algorithm = "AA-3D"
     return result

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.deadline import Deadline
 from ..engine.executors import LeafTaskExecutor, resolve_executor
 from ..errors import AlgorithmError
 from ..geometry.halfspace import halfspace_for_record
@@ -43,6 +44,7 @@ def ba_maxrank(
     use_pairwise: bool = True,
     use_planar: bool = False,
     executor: Optional[LeafTaskExecutor] = None,
+    deadline: Optional[Deadline] = None,
 ) -> MaxRankResult:
     """Answer a MaxRank / iMaxRank query with the basic approach (``d ≥ 3``).
 
@@ -81,6 +83,11 @@ def ba_maxrank(
         the independent within-leaf probes of each scan level (e.g. a
         process pool; see :mod:`repro.engine`).  ``None`` selects the
         serial in-process path, unless ``REPRO_JOBS`` forces a pool.
+    deadline:
+        Optional wall-clock budget (:class:`~repro.engine.deadline.Deadline`);
+        checked at the start, before the quad-tree build, per scan priority
+        level and inside the within-leaf funnel.  Expiry raises
+        :class:`~repro.errors.QueryTimeoutError`.
 
     Returns
     -------
@@ -104,6 +111,8 @@ def ba_maxrank(
     executor = resolve_executor(executor)
     accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
     counters = accessor.counters
+    if deadline is not None:
+        deadline.check(counters, "ba_start")
 
     dominators = accessor.dominator_count()
     incomparable = accessor.scan_incomparable()
@@ -112,6 +121,8 @@ def ba_maxrank(
     quadtree = AugmentedQuadTree(
         reduced_dim, split_threshold=split_threshold, counters=counters
     )
+    if deadline is not None:
+        deadline.check(counters, "ba_quadtree_build")
     with counters.timer("quadtree_build"):
         quadtree.insert_bulk(
             [
@@ -142,6 +153,7 @@ def ba_maxrank(
             use_planar=use_planar,
             counters=counters,
             executor=executor,
+            deadline=deadline,
         )
     if best_order is None:
         raise AlgorithmError(

@@ -51,6 +51,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.deadline import Deadline
 from ..engine.executors import LeafTaskExecutor
 from ..engine.tasks import LeafTask, LeafTaskResult
 from ..geometry.halfspace import Halfspace, reduced_space_constraints
@@ -120,6 +121,7 @@ class _LeafScanState:
         "pairwise",
         "planar",
         "frontier",
+        "deadline",
     )
 
     def __init__(
@@ -134,10 +136,12 @@ class _LeafScanState:
         track_frontier: bool,
         inline: bool,
         counters: Optional[CostCounters],
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self.partial_len = len(partial_pairs)
         self.seq = leaf.seq
         self.weight_cells: Dict[int, List[LeafCell]] = {}
+        self.deadline = deadline
         if inline:
             self.processor: Optional[WithinLeafProcessor] = WithinLeafProcessor(
                 leaf.lower,
@@ -149,6 +153,7 @@ class _LeafScanState:
                 seed_state=seed_state,
                 track_frontier=track_frontier,
                 use_planar=use_planar,
+                deadline=deadline,
             )
             return
         self.processor = None
@@ -208,6 +213,7 @@ class _LeafScanState:
             pairwise=self.pairwise,
             use_planar=self.use_planar,
             planar=self.planar,
+            deadline=self.deadline,
         )
 
     def absorb(self, result: LeafTaskResult) -> None:
@@ -260,6 +266,7 @@ def collect_cells(
     counters: Optional[CostCounters] = None,
     cache: Optional[dict] = None,
     executor: Optional[LeafTaskExecutor] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[Optional[int], List[CellRecord]]:
     """Scan the quad-tree for the smallest-order cells of its arrangement.
 
@@ -297,6 +304,13 @@ def collect_cells(
         2-dimensional reduced space (the ``d = 3`` fast path; see
         :mod:`repro.geometry.planar`).  Ignored at other dimensionalities;
         results are bit-identical either way.
+    deadline:
+        Optional wall-clock budget (:class:`~repro.engine.deadline.Deadline`).
+        Checked once per priority level here and at the within-leaf
+        checkpoints (the deadline travels inside every
+        :class:`~repro.engine.tasks.LeafTask`); expiry raises
+        :class:`~repro.errors.QueryTimeoutError` carrying the partial
+        counters.  ``None`` (the default) disables every checkpoint.
     """
     inline = executor is None or executor.inline
     # Harvest witness and reuse-state seeds from cache entries the tree
@@ -330,6 +344,7 @@ def collect_cells(
             track_frontier=cache is not None,
             inline=inline,
             counters=counters,
+            deadline=deadline,
         )
         if cache is not None:
             cache[key] = state
@@ -344,6 +359,9 @@ def collect_cells(
 
     priority = 0
     while True:
+        if deadline is not None:
+            # Cancellation checkpoint: once per priority level of the scan.
+            deadline.check(counters, "collect_cells")
         if best is not None and priority > best + tau:
             break
         if (
@@ -390,6 +408,11 @@ def collect_cells(
                     resolved[index][1].absorb(result)
                     if counters is not None and result.counters is not None:
                         counters.merge(result.counters)
+                if counters is not None:
+                    # Fold the executor's robustness events (worker retries,
+                    # serial degradations) into this query's cost report.
+                    for name, value in executor.drain_events().items():
+                        setattr(counters, name, getattr(counters, name) + value)
 
         for leaf, state, weight in resolved:
             if weight > state.partial_len:

@@ -19,8 +19,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..data.dataset import Dataset
+from ..engine.deadline import Deadline
 from ..engine.executors import make_executor
-from ..errors import AlgorithmError
+from ..errors import AlgorithmError, QueryTimeoutError
 from ..index.rstar import RStarTree
 from ..skyline.bbs import SkylineCache
 from ..stats import CostCounters
@@ -55,6 +56,7 @@ def maxrank(
     counters: Optional[CostCounters] = None,
     jobs: Optional[int] = None,
     skyline_cache: Optional[SkylineCache] = None,
+    deadline: Optional[Deadline] = None,
     **options,
 ) -> MaxRankResult:
     """Answer a MaxRank (or iMaxRank, with ``tau > 0``) query.
@@ -113,6 +115,18 @@ def maxrank(
         AA-2D, AA-3D) and ignored by the scan-based ones (FCA, BA, exact);
         a pure CPU memo, so results and engine-invariant counters are
         identical with and without it.
+    deadline:
+        Optional wall-clock budget: a
+        :class:`~repro.engine.deadline.Deadline` (build one with
+        ``Deadline.after(seconds)``; :meth:`MaxRankService.query` exposes
+        the friendlier ``timeout=`` seconds form).  Checked at entry for
+        every algorithm and cooperatively throughout the quad-tree
+        algorithms (AA/BA/AA-3D: per iteration, per scan priority level
+        and inside the within-leaf funnel; AA-2D: per arrangement
+        iteration).  FCA and the brute-force oracles only check at entry —
+        they are verification baselines, not serving paths.  Expiry raises
+        :class:`~repro.errors.QueryTimeoutError` carrying the partial
+        counters; ``None`` (default) disables every checkpoint.
     options:
         Algorithm-specific tuning knobs (``split_threshold``,
         ``use_pairwise``, ``executor`` for BA/AA).
@@ -128,9 +142,22 @@ def maxrank(
     Raises
     ------
     AlgorithmError
-        For an unknown algorithm name, a negative ``tau``, or an algorithm
-        incompatible with the dataset's dimensionality.
+        For an unknown algorithm name, a negative ``tau``, an algorithm
+        incompatible with the dataset's dimensionality, or a ``deadline``
+        that is not a :class:`~repro.engine.deadline.Deadline`.
+    QueryTimeoutError
+        When ``deadline`` expires before the query completes.
     """
+    if deadline is not None:
+        if not isinstance(deadline, Deadline):
+            raise AlgorithmError(
+                f"deadline must be a repro.engine.Deadline "
+                f"(build one with Deadline.after(seconds)), got "
+                f"{type(deadline).__name__}"
+            )
+        # Entry checkpoint: an already-expired budget fails fast for every
+        # algorithm, including the ones without interior checkpoints.
+        deadline.check(counters, "maxrank_entry")
     name = algorithm.lower()
     if name not in ALGORITHMS:
         raise AlgorithmError(
@@ -159,51 +186,62 @@ def maxrank(
             "use algorithm='aa' with engine='generic' for the generic path"
         )
 
-    if name == "fca":
-        return fca_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
-    if name == "aa2d":
-        return aa2d_maxrank(
-            dataset,
-            focal,
-            tau=tau,
-            tree=tree,
-            counters=counters,
-            skyline_cache=skyline_cache,
-        )
-    if name in ("ba", "aa", "aa3d"):
-        run = {"ba": ba_maxrank, "aa": aa_maxrank, "aa3d": aa3d_maxrank}[name]
-        if name != "ba" and skyline_cache is not None:
-            # BA reads every incomparable record with a full scan and never
-            # runs BBS, so the warm skyline state has nothing to memoise.
-            options = dict(options, skyline_cache=skyline_cache)
-        if "use_planar" in options:
-            # The facade's within-leaf engine knob is ``engine=``; a raw
-            # use_planar here could silently contradict the validated flag
-            # (the algorithm-level entry points accept it directly).
-            raise AlgorithmError(
-                "maxrank() selects the within-leaf engine through engine=; "
-                "pass use_planar only to aa_maxrank/ba_maxrank directly"
+    try:
+        if name == "fca":
+            return fca_maxrank(dataset, focal, tau=tau, tree=tree, counters=counters)
+        if name == "aa2d":
+            return aa2d_maxrank(
+                dataset,
+                focal,
+                tau=tau,
+                tree=tree,
+                counters=counters,
+                skyline_cache=skyline_cache,
+                deadline=deadline,
             )
-        if name != "aa3d":
-            # Auto-dispatch: at d = 3 the quad-tree algorithms use the
-            # planar sweep unless the generic escape hatch is pulled.
-            options = dict(
-                options,
-                use_planar=dataset.d == 3 and engine_name != "generic",
-            )
-        owned = None
-        if jobs is not None and options.get("executor") is None:
-            owned = make_executor(jobs)
-            if owned is not None:
-                options = dict(options, executor=owned)
-        try:
-            return run(
-                dataset, focal, tau=tau, tree=tree, counters=counters, **options
-            )
-        finally:
-            if owned is not None:
-                owned.close()
-    return maxrank_exact_small(dataset, focal, tau=tau, **options)
+        if name in ("ba", "aa", "aa3d"):
+            run = {"ba": ba_maxrank, "aa": aa_maxrank, "aa3d": aa3d_maxrank}[name]
+            if name != "ba" and skyline_cache is not None:
+                # BA reads every incomparable record with a full scan and never
+                # runs BBS, so the warm skyline state has nothing to memoise.
+                options = dict(options, skyline_cache=skyline_cache)
+            if "use_planar" in options:
+                # The facade's within-leaf engine knob is ``engine=``; a raw
+                # use_planar here could silently contradict the validated flag
+                # (the algorithm-level entry points accept it directly).
+                raise AlgorithmError(
+                    "maxrank() selects the within-leaf engine through engine=; "
+                    "pass use_planar only to aa_maxrank/ba_maxrank directly"
+                )
+            if name != "aa3d":
+                # Auto-dispatch: at d = 3 the quad-tree algorithms use the
+                # planar sweep unless the generic escape hatch is pulled.
+                options = dict(
+                    options,
+                    use_planar=dataset.d == 3 and engine_name != "generic",
+                )
+            owned = None
+            if jobs is not None and options.get("executor") is None:
+                owned = make_executor(jobs)
+                if owned is not None:
+                    options = dict(options, executor=owned)
+            try:
+                return run(
+                    dataset, focal, tau=tau, tree=tree, counters=counters,
+                    deadline=deadline, **options
+                )
+            finally:
+                if owned is not None:
+                    owned.close()
+        return maxrank_exact_small(dataset, focal, tau=tau, **options)
+    except QueryTimeoutError as exc:
+        if counters is not None:
+            # Attach the query-level counters: the leaf-side checkpoint
+            # only sees its task-local tallies, but the caller (and the
+            # service, which merges them into its aggregates) wants the
+            # partial work of the whole cancelled query.
+            exc.counters = counters
+        raise
 
 
 def imaxrank(

@@ -27,6 +27,7 @@ service layer (:mod:`repro.service`) uses this to run entire MaxRank
 queries of a batch in parallel.
 """
 
+from .deadline import Deadline
 from .executors import (
     InlineTaskExecutor,
     LeafTaskExecutor,
@@ -38,6 +39,7 @@ from .executors import (
 from .tasks import LeafTask, LeafTaskResult, execute_leaf_task, execute_task
 
 __all__ = [
+    "Deadline",
     "LeafTask",
     "LeafTaskResult",
     "execute_leaf_task",

@@ -1,0 +1,85 @@
+"""Per-query wall-clock budgets for cooperative cancellation.
+
+A :class:`Deadline` is an *absolute* expiry instant on the shared wall
+clock (``time.time()``), not a relative duration: the object pickles into
+:class:`~repro.engine.tasks.LeafTask` / service query tasks and stays
+meaningful inside fork-based pool workers, because parent and children read
+the same clock.  Cancellation is cooperative — the scan scheduler
+(:func:`repro.core.cells.collect_cells`), the AA iteration loop and the
+within-leaf funnel call :meth:`Deadline.check` at their checkpoints, and an
+expired deadline raises :class:`~repro.errors.QueryTimeoutError` carrying
+the partial cost counters for diagnosis.  A query with no deadline pays
+nothing: every checkpoint is a single ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AlgorithmError, QueryTimeoutError
+from ..stats import CostCounters
+
+__all__ = ["Deadline"]
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute wall-clock expiry for one query (picklable, immutable).
+
+    Attributes
+    ----------
+    expires_at:
+        ``time.time()`` instant after which the query must stop.
+    budget_seconds:
+        The originally requested budget — carried only so timeout messages
+        can say "exceeded its 0.5s budget" instead of an opaque epoch.
+    """
+
+    expires_at: float
+    budget_seconds: Optional[float] = None
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """Deadline ``seconds`` from now; the usual constructor."""
+        seconds = float(seconds)
+        if not seconds > 0 or seconds != seconds:  # rejects <= 0, NaN
+            raise AlgorithmError(
+                f"timeout must be a positive number of seconds, got {seconds!r}"
+            )
+        return cls(expires_at=time.time() + seconds, budget_seconds=seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.time()
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return time.time() >= self.expires_at
+
+    def check(
+        self, counters: Optional[CostCounters] = None, where: str = ""
+    ) -> None:
+        """Cooperative checkpoint: raise if expired, count the check.
+
+        Raises
+        ------
+        QueryTimeoutError
+            Carrying ``where`` (the checkpoint label) and the partial
+            ``counters`` accumulated so far.
+        """
+        if counters is not None:
+            counters.deadline_checks += 1
+        if time.time() >= self.expires_at:
+            budget = (
+                f"its {self.budget_seconds:g}s budget"
+                if self.budget_seconds is not None
+                else "its deadline"
+            )
+            raise QueryTimeoutError(
+                f"query exceeded {budget} (cancelled at checkpoint "
+                f"{where or 'unspecified'})",
+                where=where,
+                counters=counters,
+            )

@@ -49,6 +49,8 @@ from ..quadtree.withinleaf import (
     WithinLeafProcessor,
 )
 from ..stats import CostCounters
+from ..testing import faults
+from .deadline import Deadline
 
 __all__ = ["LeafTask", "LeafTaskResult", "execute_leaf_task", "execute_task"]
 
@@ -98,6 +100,12 @@ class LeafTask:
         The planar arrangement of exactly this configuration, shipped
         verbatim once some earlier task built it (``None`` lets the
         processor build it, extending ``seed_state.planar`` incrementally).
+    deadline:
+        Optional wall-clock budget (:class:`~repro.engine.deadline.Deadline`,
+        an absolute expiry — valid across fork).  The rebuilt processor
+        checks it cooperatively inside the funnel and raises
+        :class:`~repro.errors.QueryTimeoutError`, which executors propagate
+        across the process boundary.
     """
 
     leaf_key: int
@@ -113,6 +121,7 @@ class LeafTask:
     pairwise: Optional[PairwiseConstraints] = None
     use_planar: bool = False
     planar: Optional[PlanarArrangement] = None
+    deadline: Optional[Deadline] = None
 
 
 @dataclass
@@ -167,6 +176,10 @@ def execute_leaf_task(
     merge.
     """
     own = CostCounters() if counters is None else counters
+    if task.deadline is not None:
+        # Entry checkpoint: a task that sat in a pool queue (or was stalled
+        # by fault injection) past its budget dies before any funnel work.
+        task.deadline.check(own, "leaf_task")
     processor = WithinLeafProcessor(
         task.lower,
         task.upper,
@@ -179,6 +192,7 @@ def execute_leaf_task(
         pairwise=task.pairwise,
         use_planar=task.use_planar,
         planar=task.planar,
+        deadline=task.deadline,
     )
     cells = processor.cells_at_weight(task.weight)
     return LeafTaskResult(
@@ -204,6 +218,7 @@ def execute_task(task):
     (same chunked dispatch, same submission-order merge, hence the same
     determinism story).
     """
+    faults.on_task()  # no-op unless a chaos-test fault plan is armed
     if isinstance(task, LeafTask):
         return execute_leaf_task(task)
     return task.run()

@@ -49,3 +49,43 @@ class SnapshotError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment/benchmark driver received an invalid configuration."""
+
+
+class QueryTimeoutError(ReproError):
+    """A query exceeded its wall-clock deadline and was cancelled at a
+    cooperative checkpoint.
+
+    The exception carries *where* the cancellation fired (the checkpoint
+    label, e.g. ``"within_leaf_funnel"``) and the partial
+    :class:`~repro.stats.CostCounters` accumulated up to that point, so an
+    operator can see how far the query got before it was cut off.  Both
+    attributes survive pickling — a timeout raised inside a pool worker
+    reaches the parent process intact."""
+
+    def __init__(self, message: str, *, where: str = "", counters=None) -> None:
+        super().__init__(message)
+        self.where = where
+        self.counters = counters
+
+    def __reduce__(self):
+        # Default exception pickling re-calls __init__(*args) and would drop
+        # the keyword-only attributes; ship them as post-init state instead.
+        return (
+            self.__class__,
+            (self.args[0] if self.args else "",),
+            {"where": self.where, "counters": self.counters},
+        )
+
+    def __setstate__(self, state) -> None:
+        self.where = state.get("where", "")
+        self.counters = state.get("counters")
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died while executing a task chunk (the
+    underlying ``BrokenProcessPool``), attributed to the executor batch."""
+
+
+class RetryExhaustedError(WorkerCrashError):
+    """Worker crashes persisted past the executor's retry budget and
+    serial degradation was disabled, so the batch could not complete."""

@@ -24,6 +24,7 @@ and therefore byte-identical query results and simulated I/O charges.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import zlib
 from dataclasses import dataclass, field
@@ -34,6 +35,7 @@ import numpy as np
 
 from ..errors import SnapshotError
 from ..stats import CostCounters
+from ..testing import faults
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (rstar imports us)
     from .rstar import RStarTree
@@ -166,6 +168,11 @@ def save_snapshot(
     counts are *not* stored because they are recomputed lazily to the same
     values (exact min/max/sum reductions over the same floats).
 
+    The write is *crash-safe*: the payload is written to a temp file in the
+    target directory, fsynced, and atomically renamed into place
+    (``os.replace``), so a crash mid-save can never leave a torn snapshot —
+    the previous file (if any) survives intact.
+
     Raises
     ------
     SnapshotError
@@ -234,9 +241,14 @@ def save_snapshot(
     }
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
 
+    # Crash-safe write: the payload goes to a sibling temp file, is fsynced,
+    # and only then atomically renamed over the target.  A crash (or an
+    # injected failure) at any point leaves either the old snapshot or no
+    # snapshot — never a torn file that fails its own CRC on the next load.
     target = Path(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}.tmp")
     try:
-        with target.open("wb") as handle:
+        with tmp.open("wb") as handle:
             handle.write(SNAPSHOT_MAGIC)
             handle.write(struct.pack("<I", SNAPSHOT_VERSION))
             handle.write(struct.pack("<I", len(header_bytes)))
@@ -246,8 +258,15 @@ def save_snapshot(
             _write_array(handle, page_arr)
             _write_array(handle, count_arr)
             _write_array(handle, leaf_arr)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.maybe_fail_replace(target)  # chaos-test hook, no-op otherwise
+        os.replace(tmp, target)
     except OSError as exc:
         raise SnapshotError(f"cannot write snapshot to {target}: {exc}") from exc
+    finally:
+        tmp.unlink(missing_ok=True)
+    faults.maybe_flip_snapshot_byte(target)  # chaos-test hook, no-op otherwise
 
 
 def load_snapshot(path: str | Path) -> SnapshotPayload:

@@ -78,7 +78,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import chain, combinations, islice
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import would be cyclic at runtime
+    from ..engine.deadline import Deadline
 
 import numpy as np
 
@@ -459,12 +462,15 @@ class WithinLeafProcessor:
         pairwise: Optional[PairwiseConstraints] = None,
         use_planar: bool = False,
         planar: Optional[PlanarArrangement] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> None:
         self.lower = np.asarray(lower, dtype=float).ravel()
         self.upper = np.asarray(upper, dtype=float).ravel()
         self.partial = list(partial)
         self.dim = self.lower.shape[0]
         self.counters = counters
+        #: cooperative wall-clock budget (None → every checkpoint is free)
+        self._deadline = deadline
         self._base = reduced_space_constraints(self.dim)
         # Pre-stacked coefficient arrays: the feasibility tests flip the signs
         # of individual rows per bit-string instead of rebuilding half-space
@@ -924,6 +930,10 @@ class WithinLeafProcessor:
         """
         if self._planar_weights is not None:
             return
+        if self._deadline is not None:
+            # Arrangement builds are the leaf's chunkiest single step; check
+            # before committing to one.
+            self._deadline.check(self.counters, "planar_build")
         ids = tuple(hid for hid, _ in self.partial)
         arrangement: Optional[PlanarArrangement] = None
         shipped = self._planar_shipped
@@ -997,6 +1007,10 @@ class WithinLeafProcessor:
         cells: List[LeafCell] = []
         survivors: Optional[List[Tuple[int, ...]]] = [] if self._track_frontier else None
         for combos in self._candidate_chunks(weight):
+            if self._deadline is not None:
+                # Cancellation checkpoint: once per candidate chunk, i.e.
+                # every few thousand candidates through the funnel.
+                self._deadline.check(self.counters, "within_leaf_funnel")
             if survivors is not None:
                 if len(survivors) + len(combos) <= _FRONTIER_CAP:
                     survivors.extend(combos)
@@ -1069,7 +1083,11 @@ class WithinLeafProcessor:
         engines decide (and account) each candidate identically.
         """
         cells: List[LeafCell] = []
-        for ones in candidates:
+        for index, ones in enumerate(candidates):
+            if self._deadline is not None and index % 256 == 0:
+                # Cancellation checkpoint for the per-candidate path (2-D
+                # clipping, planar-face resolution): every 256 candidates.
+                self._deadline.check(self.counters, "within_leaf_candidates")
             bits = self._bits_for(ones)
             if self._pairwise is not None and self._pairwise.violates(bits):
                 if self.counters is not None:

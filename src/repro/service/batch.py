@@ -35,6 +35,7 @@ import numpy as np
 from ..core.maxrank import maxrank
 from ..core.result import MaxRankResult
 from ..data.dataset import Dataset
+from ..engine.deadline import Deadline
 from ..engine.executors import SerialExecutor
 from ..errors import AlgorithmError
 from ..index.rstar import RStarTree
@@ -91,6 +92,10 @@ class QueryTask:
     options:
         Frozen algorithm options (``split_threshold``, ``use_pairwise``, …)
         as a sorted tuple of pairs — hashable and picklable.
+    deadline:
+        Optional wall-clock budget shared by the whole batch.  Deadlines
+        carry an *absolute* expiry time, so the pickled copy a forked
+        worker receives expires at the same instant as the service's.
     """
 
     token: int
@@ -100,6 +105,7 @@ class QueryTask:
     algorithm: str = "auto"
     engine: str = "auto"
     options: Tuple[Tuple[str, object], ...] = field(default=())
+    deadline: Optional[Deadline] = None
 
     def run(self) -> MaxRankResult:
         """Execute the query against the registered shared state.
@@ -138,5 +144,6 @@ class QueryTask:
             tree=state.tree,
             counters=counters,
             skyline_cache=state.skyline_cache,
+            deadline=self.deadline,
             **options,
         )

@@ -28,12 +28,25 @@ Three subcommands drive the service end-to-end (``python -m repro.service``):
 
         printf '{"focal": 5}\n{"focal": 5}\n' | \
             python -m repro.service serve --snapshot idx.rprs
+
+Failure contract (see ``docs/ARCHITECTURE.md``, *Failure model*): every
+command exits non-zero with a one-line ``error: {"code": ..., "message":
+...}`` diagnostic on stderr — exit code 3 for a query that exceeded its
+``--timeout`` budget, 2 for any other :class:`~repro.errors.ReproError`.
+``serve`` isolates requests: a malformed or failing request answers
+``{"error": {"code": ..., "message": ...}}`` on its own line and the loop
+keeps serving; SIGTERM / SIGINT drain gracefully (finish the in-flight
+request, emit a ``{"shutdown": ...}`` line, exit 0).
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
+import os
+import selectors
+import signal
 import sys
 import time
 from typing import List, Optional
@@ -43,11 +56,43 @@ import numpy as np
 from ..core.maxrank import maxrank
 from ..data.generators import generate
 from ..data.realistic import load_real_dataset
-from ..errors import ReproError
+from ..errors import (
+    AlgorithmError,
+    InvalidRecordError,
+    QueryTimeoutError,
+    ReproError,
+    SnapshotError,
+    WorkerCrashError,
+)
 from ..stats import CostCounters
 from .core import MaxRankService, result_fingerprint
 
-__all__ = ["main"]
+__all__ = ["main", "error_code"]
+
+
+def error_code(exc: BaseException) -> str:
+    """Stable machine-readable code for an error (CLI + serve contract).
+
+    ``timeout`` — deadline expiry; ``snapshot`` — unreadable / corrupt
+    snapshot; ``worker_crash`` — crash recovery exhausted its retries;
+    ``bad_request`` — malformed input (validation, JSON shape, unknown
+    names); ``internal`` — any other library error.
+    """
+    if isinstance(exc, QueryTimeoutError):
+        return "timeout"
+    if isinstance(exc, SnapshotError):
+        return "snapshot"
+    if isinstance(exc, WorkerCrashError):
+        return "worker_crash"
+    if isinstance(exc, (InvalidRecordError, AlgorithmError,
+                        KeyError, ValueError, TypeError)):
+        return "bad_request"
+    return "internal"
+
+
+def _error_payload(exc: BaseException) -> dict:
+    message = f"missing field {exc}" if isinstance(exc, KeyError) else str(exc)
+    return {"code": error_code(exc), "message": message}
 
 
 def _build(args: argparse.Namespace) -> int:
@@ -84,7 +129,9 @@ def _query(args: argparse.Namespace) -> int:
     with MaxRankService.from_snapshot(args.snapshot, cache_size=args.cache_size) as service:
         focals = _select_focals(service, args)
         start = time.perf_counter()
-        results = service.query_batch(focals, tau=args.tau, jobs=args.jobs)
+        results = service.query_batch(
+            focals, tau=args.tau, jobs=args.jobs, timeout=args.timeout
+        )
         wall = time.perf_counter() - start
         rows = []
         for focal, result in zip(focals, results):
@@ -149,51 +196,125 @@ def _verify_standalone(
     return 0
 
 
-def _serve(args: argparse.Namespace) -> int:
-    with MaxRankService.from_snapshot(args.snapshot, cache_size=args.cache_size) as service:
-        meta = {
-            "ready": True,
-            "dataset": service.dataset.name,
-            "n": service.dataset.n,
-            "d": service.dataset.d,
-        }
-        print(json.dumps(meta), flush=True)
+def _request_lines(should_stop):
+    """Yield stdin lines, polling so a drain signal is honoured promptly.
+
+    A plain ``for line in sys.stdin`` blocks in a buffered read that a
+    signal handler cannot interrupt (PEP 475 restarts it), so a SIGTERM
+    would only take effect at the *next* request.  When stdin has a real
+    file descriptor we poll it with a selector and do our own line
+    splitting; otherwise (in-process tests feeding a ``StringIO``) we fall
+    back to plain iteration with a per-line stop check.
+    """
+    try:
+        fd = sys.stdin.fileno()
+    except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
         for line in sys.stdin:
-            line = line.strip()
-            if not line:
+            if should_stop():
+                return
+            yield line
+        return
+    sel = selectors.DefaultSelector()
+    sel.register(fd, selectors.EVENT_READ)
+    buffer = b""
+    try:
+        while not should_stop():
+            if not sel.select(0.2):
                 continue
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError(
-                        "request must be a JSON object, e.g. {\"focal\": 5}"
-                    )
-                if request.get("cmd") == "stats":
-                    print(json.dumps(service.stats()), flush=True)
+            chunk = os.read(fd, 65536)
+            if not chunk:
+                if buffer.strip():
+                    yield buffer.decode("utf-8", "replace")
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                yield line.decode("utf-8", "replace")
+                if should_stop():
+                    return
+    finally:
+        sel.close()
+
+
+def _serve(args: argparse.Namespace) -> int:
+    draining = {"flag": False, "signal": None}
+
+    def _drain(signum, frame):
+        draining["flag"] = True
+        draining["signal"] = signal.Signals(signum).name
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _drain)
+        except (ValueError, OSError):  # not the main thread / unsupported
+            pass
+
+    served = 0
+    try:
+        with MaxRankService.from_snapshot(
+            args.snapshot, cache_size=args.cache_size
+        ) as service:
+            meta = {
+                "ready": True,
+                "dataset": service.dataset.name,
+                "n": service.dataset.n,
+                "d": service.dataset.d,
+            }
+            print(json.dumps(meta), flush=True)
+            for line in _request_lines(lambda: draining["flag"]):
+                line = line.strip()
+                if not line:
                     continue
-                if request.get("cmd") == "quit":
-                    break
-                focal = request["focal"]
-                if isinstance(focal, list):
-                    focal = np.asarray(focal, dtype=float)
-                hits_before = service.cache.hits
-                result = service.query(focal, tau=int(request.get("tau", 0)))
-                answer = {
-                    "k_star": result.k_star,
-                    "regions": result.region_count,
-                    "dominators": result.dominator_count,
-                    "tau": result.tau,
-                    "cache_hit": service.cache.hits > hits_before,
-                    "representative": [
-                        round(float(w), 9)
-                        for w in result.regions[0].representative_query()
-                    ]
-                    if result.regions
-                    else None,
-                }
-                print(json.dumps(answer), flush=True)
-            except (ReproError, KeyError, ValueError, TypeError) as exc:
-                print(json.dumps({"error": str(exc)}), flush=True)
+                # Request isolation: any failure answers a structured error
+                # on the request's own line and the loop keeps serving.
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError(
+                            "request must be a JSON object, e.g. {\"focal\": 5}"
+                        )
+                    if request.get("cmd") == "stats":
+                        print(json.dumps(service.stats()), flush=True)
+                        continue
+                    if request.get("cmd") == "quit":
+                        break
+                    focal = request["focal"]
+                    if isinstance(focal, list):
+                        focal = np.asarray(focal, dtype=float)
+                    timeout = request.get("timeout", args.timeout)
+                    hits_before = service.cache.hits
+                    result = service.query(
+                        focal, tau=int(request.get("tau", 0)), timeout=timeout
+                    )
+                    served += 1
+                    answer = {
+                        "k_star": result.k_star,
+                        "regions": result.region_count,
+                        "dominators": result.dominator_count,
+                        "tau": result.tau,
+                        "cache_hit": service.cache.hits > hits_before,
+                        "representative": [
+                            round(float(w), 9)
+                            for w in result.regions[0].representative_query()
+                        ]
+                        if result.regions
+                        else None,
+                    }
+                    print(json.dumps(answer), flush=True)
+                except (ReproError, KeyError, ValueError, TypeError) as exc:
+                    print(
+                        json.dumps({"error": _error_payload(exc)}), flush=True
+                    )
+            shutdown = {
+                "shutdown": True,
+                "reason": draining["signal"] or "eof",
+                "queries_answered": served,
+            }
+            print(json.dumps(shutdown), flush=True)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     return 0
 
 
@@ -231,6 +352,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     query.add_argument("--tau", type=int, default=0)
     query.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="whole-query process parallelism for the batch")
+    query.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="wall-clock budget in seconds shared by the whole "
+                            "batch (expiry exits 3 with a structured error)")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--cache-size", type=int, default=256)
     query.add_argument("--json", action="store_true", help="machine-readable output")
@@ -242,13 +366,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve = commands.add_parser("serve", help="serve JSON queries from stdin")
     serve.add_argument("--snapshot", required=True)
     serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="default per-request wall-clock budget in seconds "
+                            "(a request's own \"timeout\" field overrides it)")
     serve.set_defaults(handler=_serve)
 
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except QueryTimeoutError as exc:
+        print(f"error: {json.dumps(_error_payload(exc))}", file=sys.stderr)
+        return 3
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error: {json.dumps(_error_payload(exc))}", file=sys.stderr)
         return 2
 
 

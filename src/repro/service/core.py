@@ -33,17 +33,19 @@ zero in standalone runs.  The one deliberate exception is the opt-in
 
 from __future__ import annotations
 
+import logging
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..core.maxrank import maxrank
+from ..core.maxrank import ALGORITHMS, ENGINES, maxrank
 from ..core.result import MaxRankResult
 from ..data.dataset import Dataset
+from ..engine.deadline import Deadline
 from ..engine.executors import LeafTaskExecutor, make_executor
-from ..errors import AlgorithmError
+from ..errors import AlgorithmError, QueryTimeoutError, SnapshotError
 from ..index.diskio import load_snapshot, save_snapshot
 from ..index.rstar import RStarTree
 from ..skyline.bbs import SkylineCache
@@ -52,6 +54,8 @@ from .batch import QueryTask, register_state, unregister_state
 from .cache import QueryCache, query_key
 
 __all__ = ["MaxRankService", "result_fingerprint"]
+
+logger = logging.getLogger("repro.service")
 
 Focal = Union[int, Sequence[float], np.ndarray]
 
@@ -144,21 +148,60 @@ class MaxRankService:
         self.queries_served = 0
         self.queries_computed = 0
         self.batches_served = 0
+        #: queries cancelled by their wall-clock budget
+        self.query_timeouts = 0
+        #: set by from_snapshot when a broken snapshot was rebuilt from data
+        self.snapshot_fallback = False
+        self.snapshot_error: Optional[str] = None
         self._token = register_state(dataset, self.tree, self.skyline_cache)
         self._executors: Dict[int, LeafTaskExecutor] = {}
         self._closed = False
 
     # ------------------------------------------------------------ lifecycle
     @classmethod
-    def from_snapshot(cls, path: Union[str, Path], **kwargs) -> "MaxRankService":
+    def from_snapshot(
+        cls,
+        path: Union[str, Path],
+        *,
+        fallback_dataset: Optional[Dataset] = None,
+        strict: bool = False,
+        **kwargs,
+    ) -> "MaxRankService":
         """Cold-start a service from a snapshot file (no STR rebuild).
 
         The snapshot (see :func:`repro.index.diskio.load_snapshot`) restores
         the record matrix, the dataset identity (name, attribute names) and
         a node-for-node identical R*-tree, so a service loaded from disk
         answers every query byte-identically to the service that saved it.
+
+        Parameters
+        ----------
+        fallback_dataset:
+            Optional dataset to rebuild from when the snapshot is missing
+            or corrupt (:class:`~repro.errors.SnapshotError`).  The
+            degraded cold-start pays the full R*-tree build but keeps the
+            service *up*; the event is logged and surfaced through
+            ``stats()`` (``snapshot_fallback`` / ``snapshot_error``).
+            Answers are identical either way — the tree is rebuilt over the
+            same records.
+        strict:
+            ``True`` re-raises the :class:`~repro.errors.SnapshotError`
+            even when a fallback dataset is available (opt out of graceful
+            degradation, e.g. in CI where a corrupt snapshot is a bug).
         """
-        payload = load_snapshot(path)
+        try:
+            payload = load_snapshot(path)
+        except SnapshotError as exc:
+            if strict or fallback_dataset is None:
+                raise
+            logger.warning(
+                "snapshot %s unusable (%s); rebuilding from dataset %r",
+                path, exc, fallback_dataset.name,
+            )
+            service = cls(fallback_dataset, **kwargs)
+            service.snapshot_fallback = True
+            service.snapshot_error = str(exc)
+            return service
         metadata = payload.metadata
         dataset = Dataset(
             payload.records,
@@ -205,6 +248,40 @@ class MaxRankService:
     def _key(self, focal: Focal, tau: int, algorithm: str, engine: str, options):
         return query_key(focal, tau, algorithm, engine, options)
 
+    def _validate_request(
+        self, focal: Focal, tau: int, algorithm: str, engine: str
+    ) -> None:
+        """Reject malformed requests before any cache-key or tree work.
+
+        Raises a :class:`~repro.errors.ReproError` subclass for NaN /
+        infinite / wrong-dimensional focal vectors, out-of-range focal
+        indices, negative or non-integral ``tau`` and unknown algorithm or
+        engine names, so service callers (and the JSON-lines ``serve``
+        loop) get a structured, catchable error instead of a deep
+        traceback from the middle of a tree descent.
+        """
+        self.dataset.validate_focal(focal)
+        if isinstance(tau, bool) or not isinstance(tau, (int, np.integer)):
+            raise AlgorithmError(f"tau must be a non-negative integer, got {tau!r}")
+        if tau < 0:
+            raise AlgorithmError(f"tau must be non-negative, got {tau}")
+        if algorithm not in ALGORITHMS:
+            raise AlgorithmError(
+                f"unknown algorithm {algorithm!r}; choose one of {ALGORITHMS}"
+            )
+        if engine not in ENGINES:
+            raise AlgorithmError(
+                f"unknown engine {engine!r}; choose one of {ENGINES}"
+            )
+
+    @staticmethod
+    def _coerce_deadline(timeout) -> Optional[Deadline]:
+        if timeout is None:
+            return None
+        if isinstance(timeout, Deadline):
+            return timeout
+        return Deadline.after(float(timeout))
+
     def _compute(
         self,
         focal: Focal,
@@ -213,6 +290,7 @@ class MaxRankService:
         engine: str,
         options: Dict[str, object],
         jobs: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> MaxRankResult:
         counters = CostCounters()
         counters.cache_misses += 1
@@ -226,6 +304,7 @@ class MaxRankService:
             counters=counters,
             jobs=jobs,
             skyline_cache=self.skyline_cache,
+            deadline=deadline,
             **options,
         )
         return result
@@ -239,6 +318,7 @@ class MaxRankService:
         engine: Optional[str] = None,
         use_cache: bool = True,
         jobs: Optional[int] = None,
+        timeout: Optional[Union[float, Deadline]] = None,
         **options,
     ) -> MaxRankResult:
         """Answer one MaxRank / iMaxRank query against the owned dataset.
@@ -247,11 +327,21 @@ class MaxRankService:
         dataset and warm state; ``jobs`` parallelises *within* the query
         (leaf tasks).  Cached answers are returned as stored — treat results
         as read-only, as two calls may share region objects.
+
+        ``timeout`` is a wall-clock budget in seconds (or a prebuilt
+        :class:`~repro.engine.Deadline`); expiry raises
+        :class:`~repro.errors.QueryTimeoutError`, whose partial counters
+        are still merged into the service aggregates.  The budget is *not*
+        part of the cache key — a cached answer is served regardless of
+        the timeout, and a computed answer is cached for timeout-free
+        callers too (the answer does not depend on the budget).
         """
         if self._closed:
             raise AlgorithmError("the service is closed")
         algorithm = algorithm or self.algorithm
         engine = engine or self.engine
+        self._validate_request(focal, tau, algorithm, engine)
+        deadline = self._coerce_deadline(timeout)
         key = self._key(focal, tau, algorithm, engine, options)
         self.queries_served += 1
         if use_cache:
@@ -261,7 +351,15 @@ class MaxRankService:
             if cached is not None:
                 self.counters.cache_hits += 1
                 return cached
-        result = self._compute(focal, tau, algorithm, engine, options, jobs=jobs)
+        try:
+            result = self._compute(
+                focal, tau, algorithm, engine, options, jobs=jobs, deadline=deadline
+            )
+        except QueryTimeoutError as exc:
+            self.query_timeouts += 1
+            if exc.counters is not None:
+                self.counters += exc.counters
+            raise
         self.queries_computed += 1
         self.counters += result.counters
         if use_cache:
@@ -277,6 +375,7 @@ class MaxRankService:
         engine: Optional[str] = None,
         jobs: Optional[int] = None,
         use_cache: bool = True,
+        timeout: Optional[Union[float, Deadline]] = None,
         **options,
     ) -> List[MaxRankResult]:
         """Answer a batch of queries, amortising and (optionally) parallelising.
@@ -291,12 +390,20 @@ class MaxRankService:
         batch, which in turn is bit-identical to standalone ``maxrank()``
         calls.
 
+        ``timeout`` is one shared wall-clock budget for the *whole batch*
+        (seconds or a :class:`~repro.engine.Deadline`): every query checks
+        the same deadline, so a batch is cancelled as a unit rather than
+        letting each member burn a full budget in sequence.
+
         Returns one result per input focal, in input order.
         """
         if self._closed:
             raise AlgorithmError("the service is closed")
         algorithm = algorithm or self.algorithm
         engine = engine or self.engine
+        for focal in focals:
+            self._validate_request(focal, tau, algorithm, engine)
+        deadline = self._coerce_deadline(timeout)
         self.batches_served += 1
 
         if jobs is None or jobs <= 1:
@@ -318,6 +425,7 @@ class MaxRankService:
                     algorithm=algorithm,
                     engine=engine,
                     use_cache=use_cache,
+                    timeout=deadline,
                     **options,
                 )
                 local[key] = result
@@ -346,13 +454,34 @@ class MaxRankService:
 
         if pending:
             frozen_options = tuple(sorted(options.items()))
-            tasks = [self._make_task(focal, tau, algorithm, engine, frozen_options)
-                     for focal in pending]
+            tasks = [
+                self._make_task(
+                    focal, tau, algorithm, engine, frozen_options, deadline
+                )
+                for focal in pending
+            ]
             executor = self._executors.get(jobs)
             if executor is None:
                 executor = make_executor(jobs)
                 self._executors[jobs] = executor
-            for key, result in zip(pending_keys, executor.run(tasks)):
+            try:
+                task_results = executor.run(tasks)
+            except QueryTimeoutError as exc:
+                self.query_timeouts += 1
+                if exc.counters is not None:
+                    self.counters += exc.counters
+                raise
+            finally:
+                # Attribute crash-recovery events of this batch (worker
+                # retries, serial degradation) to the service aggregates,
+                # whether the batch finished or timed out.
+                for name, value in executor.drain_events().items():
+                    setattr(
+                        self.counters,
+                        name,
+                        getattr(self.counters, name) + value,
+                    )
+            for key, result in zip(pending_keys, task_results):
                 self.queries_computed += 1
                 self.counters += result.counters
                 if use_cache:
@@ -375,6 +504,7 @@ class MaxRankService:
         algorithm: str,
         engine: str,
         frozen_options,
+        deadline: Optional[Deadline] = None,
     ) -> QueryTask:
         if isinstance(focal, (int, np.integer)):
             return QueryTask(
@@ -384,6 +514,7 @@ class MaxRankService:
                 algorithm=algorithm,
                 engine=engine,
                 options=frozen_options,
+                deadline=deadline,
             )
         return QueryTask(
             self._token,
@@ -392,6 +523,7 @@ class MaxRankService:
             algorithm=algorithm,
             engine=engine,
             options=frozen_options,
+            deadline=deadline,
         )
 
     # ---------------------------------------------------------------- stats
@@ -412,4 +544,10 @@ class MaxRankService:
             "skyline_reused": self.counters.skyline_reused,
             "skyline_nodes_warm": len(self.skyline_cache),
             "tree_build_seconds": round(self.tree_build_seconds, 6),
+            "query_timeouts": self.query_timeouts,
+            "deadline_checks": self.counters.deadline_checks,
+            "worker_retries": self.counters.worker_retries,
+            "degraded_batches": self.counters.degraded_batches,
+            "snapshot_fallback": self.snapshot_fallback,
+            "snapshot_error": self.snapshot_error,
         }

@@ -92,6 +92,21 @@ class CostCounters:
         per-dataset :class:`~repro.skyline.bbs.SkylineCache` instead of
         being recomputed.  Zero for cold standalone queries (nothing is
         warm); a service-layer key like ``cache_hits``.
+    worker_retries:
+        Executor batches re-dispatched after a pool worker crashed
+        (``BrokenProcessPool``): one per rebuild-and-retry round, not per
+        chunk.  Zero on the happy path; like the service keys, not
+        engine-invariant (it depends on which process died when).
+    degraded_batches:
+        Executor batches that exhausted their crash-retry budget and fell
+        back to in-process serial execution of the remaining chunks.
+        Results stay bit-identical; only this tally records the downgrade.
+    deadline_checks:
+        Cooperative deadline checkpoints evaluated (scan loop, within-leaf
+        funnel, AA iterations).  Always zero when no deadline is set —
+        the robustness layer costs nothing unless asked for — and not
+        engine-invariant (serial and task-mode runs place checkpoints at
+        different granularities).
 
     The object is *mergeable*: :meth:`merge` / ``+=`` add another bundle's
     counts, timers and page set into this one, and merging is associative
@@ -123,6 +138,9 @@ class CostCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     skyline_reused: int = 0
+    worker_retries: int = 0
+    degraded_batches: int = 0
+    deadline_checks: int = 0
     _seen_pages: set = field(default_factory=set, repr=False)
     _timers: Dict[str, float] = field(default_factory=dict, repr=False)
     _timer_starts: Dict[str, float] = field(default_factory=dict, repr=False)
@@ -191,6 +209,9 @@ class CostCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "skyline_reused": self.skyline_reused,
+            "worker_retries": self.worker_retries,
+            "degraded_batches": self.degraded_batches,
+            "deadline_checks": self.deadline_checks,
         }
         for name, seconds in self._timers.items():
             out[f"time_{name}"] = seconds
@@ -220,6 +241,9 @@ class CostCounters:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.skyline_reused += other.skyline_reused
+        self.worker_retries += other.worker_retries
+        self.degraded_batches += other.degraded_batches
+        self.deadline_checks += other.deadline_checks
         self._seen_pages.update(other._seen_pages)
         for name, seconds in other._timers.items():
             self._timers[name] = self._timers.get(name, 0.0) + seconds

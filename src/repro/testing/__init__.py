@@ -1,0 +1,12 @@
+"""Test-support utilities shipped with the library.
+
+Only :mod:`repro.testing.faults` lives here today: the deterministic
+fault-injection hooks that the chaos test suite (``tests/test_faults.py``)
+and the CI ``chaos-smoke`` job drive.  Nothing in this package runs unless
+a fault plan is explicitly activated, so importing it from production code
+paths is free.
+"""
+
+from .faults import FaultPlan, InjectedFaultError, active_plan, inject
+
+__all__ = ["FaultPlan", "InjectedFaultError", "active_plan", "inject"]

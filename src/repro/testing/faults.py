@@ -1,0 +1,243 @@
+"""Deterministic fault injection for the chaos test suite.
+
+The robustness layer (worker-crash retry, deadlines, crash-safe snapshots,
+serve-loop isolation) is only trustworthy if its failure paths are
+*exercised*, and failure paths are exactly the code that never runs by
+accident in CI.  This module provides seeded, explicitly activated fault
+plans that production code consults through cheap hooks:
+
+* **chunk directives** — the pool executor *arms* a fault when it first
+  dispatches chunk ``kill_worker_on_chunk`` / ``stall_chunk`` of a batch
+  (:meth:`FaultPlan.arm_chunk`); the worker applies the shipped directive
+  (``os._exit`` → ``BrokenProcessPool`` in the parent, or a sleep past the
+  deadline).  Arming happens parent-side and *consumes* the fault budget at
+  dispatch time, so a retried chunk is not re-killed forever and recovery
+  can actually be observed;
+* **task hooks** — :func:`on_task` counts task executions per process and
+  raises / stalls at task index ``raise_in_task`` / ``stall_task``
+  (reliable with in-process executors; pool runs should use chunk
+  directives, because a pre-existing forked worker does not see a plan
+  activated in the parent afterwards);
+* **snapshot hooks** — :func:`maybe_fail_replace` makes the atomic rename
+  of :func:`repro.index.diskio.save_snapshot` fail ``fail_replace`` times,
+  and :func:`maybe_flip_snapshot_byte` corrupts one byte of the written
+  file at a seed-chosen position in its array region (guaranteed to be
+  CRC-protected, so the corruption is always *detected* on load).
+
+Activation is explicit: either the :func:`inject` context manager, or the
+``REPRO_FAULTS`` environment variable holding the plan as a JSON object —
+the latter is how subprocess tests (CLI, serve loop) and the CI chaos job
+arm faults.  With no active plan every hook is a module-global ``None``
+check; the happy path pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "FaultPlan",
+    "ChunkDirective",
+    "InjectedFaultError",
+    "active_plan",
+    "inject",
+    "apply_chunk_directive",
+    "on_task",
+    "maybe_fail_replace",
+    "maybe_flip_snapshot_byte",
+]
+
+#: Exit status of a deliberately killed worker (distinctive in core dumps
+#: and CI logs; any nonzero status breaks the pool the same way).
+KILLED_WORKER_EXIT = 17
+
+
+class InjectedFaultError(ReproError):
+    """An error raised on purpose by an armed fault plan (picklable)."""
+
+
+@dataclass(frozen=True)
+class ChunkDirective:
+    """A fault shipped to a worker alongside one task chunk (picklable)."""
+
+    kill: bool = False
+    stall_seconds: float = 0.0
+
+
+@dataclass
+class FaultPlan:
+    """One seeded, deterministic set of faults to inject.
+
+    Fields map one-to-one onto the failure modes the chaos suite drives;
+    every field defaults to "off".  Budgets (``kill_times``,
+    ``fail_replace``) are consumed as faults fire, so a plan is finite by
+    construction and recovery paths get to run.
+    """
+
+    seed: int = 0
+    #: Kill the worker executing this chunk index (per executor batch).
+    kill_worker_on_chunk: Optional[int] = None
+    #: How many dispatches of that chunk die before it succeeds.
+    kill_times: int = 1
+    #: Stall the worker executing this chunk index before any task runs.
+    stall_chunk: Optional[int] = None
+    #: Raise InjectedFaultError in the Nth task executed in this process.
+    raise_in_task: Optional[int] = None
+    #: Sleep before the Nth task executed in this process.
+    stall_task: Optional[int] = None
+    #: Sleep duration for stall_chunk / stall_task.
+    stall_seconds: float = 0.2
+    #: Corrupt one byte of the next snapshot written (seed-chosen position).
+    flip_snapshot_byte: bool = False
+    #: Make the snapshot's atomic rename fail this many times.
+    fail_replace: int = 0
+
+    _kill_remaining: int = field(init=False, repr=False, default=0)
+    _replace_remaining: int = field(init=False, repr=False, default=0)
+    _flip_pending: bool = field(init=False, repr=False, default=False)
+    _tasks_seen: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._kill_remaining = (
+            int(self.kill_times) if self.kill_worker_on_chunk is not None else 0
+        )
+        self._replace_remaining = int(self.fail_replace)
+        self._flip_pending = bool(self.flip_snapshot_byte)
+
+    # ------------------------------------------------------ chunk directives
+    def arm_chunk(self, chunk_index: int) -> Optional[ChunkDirective]:
+        """Directive for dispatching ``chunk_index``, consuming budgets.
+
+        Called by the pool executor in the *parent* process immediately
+        before submitting the chunk; the returned directive travels with
+        the chunk payload.  Consuming the kill budget here (not in the
+        worker) is what lets a retried dispatch of the same chunk succeed.
+        """
+        kill = False
+        stall = 0.0
+        if chunk_index == self.kill_worker_on_chunk and self._kill_remaining > 0:
+            self._kill_remaining -= 1
+            kill = True
+        if chunk_index == self.stall_chunk:
+            stall = float(self.stall_seconds)
+        if kill or stall:
+            return ChunkDirective(kill=kill, stall_seconds=stall)
+        return None
+
+    # ----------------------------------------------------------- task hooks
+    def on_task(self) -> None:
+        """Per-process task hook: raise or stall at the configured index."""
+        index = self._tasks_seen
+        self._tasks_seen += 1
+        if self.stall_task is not None and index == self.stall_task:
+            time.sleep(float(self.stall_seconds))
+        if self.raise_in_task is not None and index == self.raise_in_task:
+            raise InjectedFaultError(
+                f"injected failure in task {index} (seed {self.seed})"
+            )
+
+    # ------------------------------------------------------- snapshot hooks
+    def consume_replace_failure(self) -> bool:
+        if self._replace_remaining > 0:
+            self._replace_remaining -= 1
+            return True
+        return False
+
+    def consume_snapshot_flip(self) -> bool:
+        if self._flip_pending:
+            self._flip_pending = False
+            return True
+        return False
+
+
+_active: Optional[FaultPlan] = None
+_env_checked = False
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently armed plan, if any.
+
+    Resolution order: a plan activated by :func:`inject` wins; otherwise
+    the ``REPRO_FAULTS`` environment variable (a JSON object of
+    :class:`FaultPlan` fields) is parsed once per process and cached —
+    which also means fork-based pool workers inherit the parsed plan of
+    their parent, each with its own task counter.
+    """
+    global _active, _env_checked
+    if _active is None and not _env_checked:
+        _env_checked = True
+        raw = os.environ.get("REPRO_FAULTS", "").strip()
+        if raw:
+            _active = FaultPlan(**json.loads(raw))
+    return _active
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the duration of the ``with`` block (re-entrant)."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+# --------------------------------------------------------------- apply side
+def apply_chunk_directive(directive: Optional[ChunkDirective]) -> None:
+    """Worker-side application of a shipped chunk directive."""
+    if directive is None:
+        return
+    if directive.stall_seconds:
+        time.sleep(directive.stall_seconds)
+    if directive.kill:
+        # A hard, un-catchable death: no cleanup handlers, no exception —
+        # exactly what an OOM kill or segfault looks like to the pool.
+        os._exit(KILLED_WORKER_EXIT)
+
+
+def on_task() -> None:
+    """Module-level task hook used by :func:`repro.engine.tasks.execute_task`."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_task()
+
+
+def maybe_fail_replace(path) -> None:
+    """Raise ``OSError`` in place of the snapshot's atomic rename, if armed."""
+    plan = active_plan()
+    if plan is not None and plan.consume_replace_failure():
+        raise OSError(f"injected os.replace failure for {path}")
+
+
+def maybe_flip_snapshot_byte(path) -> None:
+    """Corrupt one byte of the freshly written snapshot, if armed.
+
+    The position is chosen deterministically from the plan's seed within
+    the second half of the file — always inside the ``.npy`` array region
+    (the JSON header is small and leads the file), whose bytes are covered
+    by the records / structure CRC-32s, so ``load_snapshot`` is guaranteed
+    to *detect* the corruption rather than silently reconstruct a wrong
+    tree.
+    """
+    plan = active_plan()
+    if plan is None or not plan.consume_snapshot_flip():
+        return
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        return
+    start = len(data) // 2
+    position = start + random.Random(plan.seed).randrange(len(data) - start)
+    data[position] ^= 0xFF
+    target.write_bytes(bytes(data))

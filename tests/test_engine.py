@@ -18,6 +18,7 @@ import pytest
 
 from repro import CostCounters, generate
 from repro.core.aa import aa_maxrank
+from repro.errors import AlgorithmError
 from repro.core.ba import ba_maxrank
 from repro.engine import (
     InlineTaskExecutor,
@@ -125,6 +126,11 @@ class TestExecutorEquivalence:
         pool.close()
         with pytest.raises(ValueError):
             ProcessPoolExecutor(0)
+        # A zero or negative worker count through the façade is a caller
+        # bug, not a request for the serial path.
+        for bad in (0, -1, -8):
+            with pytest.raises(AlgorithmError):
+                make_executor(bad)
 
 
 class TestPlanarEngineExecutors:
