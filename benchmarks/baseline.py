@@ -58,6 +58,17 @@ amortisation counters (``cache_hits``, ``skyline_reused``) alongside the
 work counters, so losing the service's reuse fails CI like losing a pruning
 step does.
 
+An ``update/`` workload family exercises the mutable service: a seeded
+80/20 query/mutate sequence (inserts and deletes interleaved with cached
+queries) against one long-lived service.  Before anything is recorded,
+every unique focal of the *mutated* dataset is re-asked and asserted
+bit-identical to a cold service freshly built over the final records — the
+same oracle the mutation-differential test harness uses.  The scoped
+cache-invalidation outcome (``invalidated`` / ``retained`` / ``inserts`` /
+``deletes``) is deterministic for the frozen sequence, so ``--compare``
+gates those counters *exactly*: losing retention (over-invalidation) or
+eviction (a vacuous predicate) fails CI like a lost pruning step does.
+
 The workload matrix is intentionally frozen: the ``--compare`` mode is only
 sound when both sides ran identical configurations.
 """
@@ -183,6 +194,35 @@ SERVICE_CONFIGS: List[ServiceBenchConfig] = [
     ServiceBenchConfig("service/fig9/d=5", "IND", 300, 5),
     ServiceBenchConfig("service/fig8/ANTI", "ANTI", 600, 4),
 ]
+
+
+@dataclass(frozen=True)
+class UpdateBenchConfig:
+    """One frozen mutable-service workload: ``ops`` operations, every fifth
+    a mutation (inserts and deletes interleaved), the rest queries cycling
+    over ``unique`` focal records so the result cache has entries for the
+    scoped invalidation to rule on."""
+
+    key: str
+    distribution: str
+    n: int
+    d: int
+    ops: int = 30
+    unique: int = 8
+    tau: int = 1
+    quick: bool = False
+
+
+UPDATE_CONFIGS: List[UpdateBenchConfig] = [
+    UpdateBenchConfig("update/fig9/d=3", "IND", 400, 3, quick=True),
+    UpdateBenchConfig("update/fig8/ANTI", "ANTI", 300, 4),
+]
+
+#: Counters gated *exactly* on the ``update/`` family: the mutation
+#: sequence is frozen and scoped invalidation is deterministic, so any
+#: drift — retaining less (lost scoping) or evicting less (unsound
+#: predicate or stale serves) — is a real behavioural change.
+UPDATE_EXACT_COUNTERS = ("inserts", "deletes", "invalidated", "retained")
 
 
 def calibrate(rounds: int = 1500, repeats: int = 3) -> float:
@@ -352,6 +392,110 @@ def run_service_config(
     }
 
 
+def run_update_config(
+    config: UpdateBenchConfig,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure the 80/20 query/mutate workload on one mutable service.
+
+    The first mutation is an insert strictly dominated by a cached focal
+    record — the planted witness that scoped invalidation *must* retain —
+    and before anything is recorded every unique focal is re-asked and
+    asserted bit-identical to a cold service built over the mutated
+    records, so the recorded numbers can never describe stale answers.
+    """
+    import numpy as np
+
+    from repro.data.dataset import Dataset
+
+    dataset = generate(config.distribution, config.n, config.d, seed=0)
+    unique = select_focal_records(dataset, config.unique, seed=0)
+    options: Dict[str, object] = {}
+    if config.d == 3:
+        options["engine"] = engine or "auto"
+
+    rng = np.random.default_rng(0)
+    service = MaxRankService(dataset)
+    try:
+        start = time.perf_counter()
+        mutations = queries = 0
+        for op in range(config.ops):
+            if op % 5 == 4:
+                if mutations == 0:
+                    service.insert(dataset.records[unique[0]] * 0.5)
+                elif mutations % 2 == 1:
+                    service.delete(int(rng.integers(0, service.dataset.n)))
+                else:
+                    service.insert(rng.uniform(0.05, 0.95, size=config.d))
+                mutations += 1
+            else:
+                focal = unique[queries % len(unique)] % service.dataset.n
+                service.query(int(focal), tau=config.tau, jobs=jobs, **options)
+                queries += 1
+        wall = time.perf_counter() - start
+
+        # Oracle gate: the mutated service must be indistinguishable from a
+        # cold service over the final records before numbers are recorded.
+        final_focals = [int(f % service.dataset.n) for f in unique]
+        oracle = MaxRankService(
+            Dataset(service.dataset.records.copy(), name="oracle"), cache_size=0
+        )
+        try:
+            results = []
+            for focal in final_focals:
+                served = service.query(focal, tau=config.tau, **options)
+                reference = oracle.query(focal, tau=config.tau, **options)
+                if result_fingerprint(served) != result_fingerprint(reference):
+                    raise AssertionError(
+                        f"{config.key}: mutated service answer for focal "
+                        f"{focal} differs from a cold rebuild"
+                    )
+                results.append(served)
+        finally:
+            oracle.close()
+
+        stats = service.stats()
+        counters = service.counters.as_dict()
+    finally:
+        service.close()
+
+    if not stats["retained"]:
+        raise AssertionError(
+            f"{config.key}: scoped invalidation retained nothing despite the "
+            f"planted dominated insert"
+        )
+    funnel = screen_funnel(counters)
+    return {
+        "wall_s": round(wall, 4),
+        "cpu_s": round(wall / config.ops, 4),
+        "io": 0.0,
+        "ops": config.ops,
+        "unique": len(unique),
+        "k_stars": [r.k_star for r in results],
+        "region_counts": [r.region_count for r in results],
+        "inserts": int(stats["inserts"]),
+        "deletes": int(stats["deletes"]),
+        "invalidated": int(stats["invalidated"]),
+        "retained": int(stats["retained"]),
+        "cache_hits": int(stats["cache_hits"]),
+        "queries_computed": int(stats["queries_computed"]),
+        "lp_calls": int(counters.get("lp_calls", 0)),
+        "cells_examined": int(counters.get("cells_examined", 0)),
+        "candidates_generated": int(counters.get("candidates_generated", 0)),
+        "prefixes_cut": int(counters.get("prefixes_cut", 0)),
+        "pairwise_pruned": int(counters.get("pairwise_pruned", 0)),
+        "screen_accepts": int(counters.get("screen_accepts", 0)),
+        "screen_rejects": int(counters.get("screen_rejects", 0)),
+        "lines_inserted": int(counters.get("lines_inserted", 0)),
+        "faces_enumerated": int(counters.get("faces_enumerated", 0)),
+        "worker_retries": int(counters.get("worker_retries", 0)),
+        "degraded_batches": int(counters.get("degraded_batches", 0)),
+        "deadline_checks": int(counters.get("deadline_checks", 0)),
+        "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
+    }
+
+
 def run_matrix(
     quick: bool,
     jobs: Optional[int] = None,
@@ -374,6 +518,13 @@ def run_matrix(
         print(f"running {service_config.key} (cold vs warm) ...", flush=True)
         results[service_config.key] = run_service_config(
             service_config, jobs=jobs, engine=engine
+        )
+    for update_config in UPDATE_CONFIGS:
+        if quick and not update_config.quick:
+            continue
+        print(f"running {update_config.key} (query/mutate) ...", flush=True)
+        results[update_config.key] = run_update_config(
+            update_config, jobs=jobs, engine=engine
         )
     return results
 
@@ -439,6 +590,15 @@ def compare(
                         f"{key}: {counter} dropped {base_value:.0f} -> {value:.0f} "
                         f"(lost service amortisation)"
                     )
+        if key.startswith("update/"):
+            for counter in UPDATE_EXACT_COUNTERS:
+                base_value = int(base.get(counter, -1))
+                value = int(entry.get(counter, -1))
+                if value != base_value:
+                    failures.append(
+                        f"{key}: {counter} changed {base_value} -> {value} "
+                        f"(scoped mutation invalidation drifted)"
+                    )
         for counter in ROBUSTNESS_ZERO_COUNTERS:
             base_value = float(base.get(counter, 0))
             value = float(entry.get(counter, 0))
@@ -485,9 +645,13 @@ def print_report(results: Dict[str, Dict[str, object]]) -> None:
             )
             row["warm_x"] = entry["speedup"]
             row["hits"] = entry["cache_hits"]
+        if key.startswith("update/"):
+            row["hits"] = entry["cache_hits"]
+            row["inv"] = entry["invalidated"]
+            row["ret"] = entry["retained"]
         rows.append(row)
     columns = ["config", "wall_s", "k*", "|T|", "lp", "generated", "cut",
-               "screened%", "warm_x", "hits"]
+               "screened%", "warm_x", "hits", "inv", "ret"]
     print()
     print(format_table(rows, columns, title="MaxRank benchmark matrix"))
 

@@ -195,6 +195,7 @@ def aa_maxrank(
             counters=counters,
             cpu_seconds=time.perf_counter() - start,
             focal=accessor.focal,
+            materialised_ids=frozenset(),
         )
 
     best_accurate: Optional[int] = None
@@ -269,4 +270,5 @@ def aa_maxrank(
         counters=counters,
         cpu_seconds=time.perf_counter() - start,
         focal=accessor.focal,
+        materialised_ids=frozenset(record_to_hid),
     )

@@ -295,4 +295,5 @@ def aa2d_maxrank(
         counters=counters,
         cpu_seconds=time.perf_counter() - start,
         focal=accessor.focal,
+        materialised_ids=frozenset(record_to_halfline),
     )

@@ -128,6 +128,16 @@ class MaxRankResult:
         Wall-clock processing time.
     focal:
         Coordinates of the focal record.
+    materialised_ids:
+        Ids of every record whose half-space the computation materialised
+        (staged or expanded) — the answer's *provenance scope*.  A record
+        outside this set provably never influenced the reported regions, so
+        the mutable service layer uses the scope to decide whether an
+        insert/delete can leave a cached answer byte-identical (see
+        :meth:`repro.service.cache.QueryCache`).  ``None`` when the
+        producing algorithm does not track provenance (BA, FCA, the
+        brute-force oracles, tau-monotone derivations); scope-less answers
+        are always conservatively invalidated.
     """
 
     k_star: int
@@ -139,6 +149,7 @@ class MaxRankResult:
     counters: CostCounters = field(default_factory=CostCounters)
     cpu_seconds: float = 0.0
     focal: Optional[np.ndarray] = None
+    materialised_ids: Optional[frozenset] = None
 
     def __post_init__(self) -> None:
         if self.k_star < 1:

@@ -21,7 +21,7 @@ Every node occupies one simulated disk page; queries charge page reads to a
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -76,6 +76,14 @@ class RStarTree:
         self._min_internal = max(2, int(MIN_FILL_FRACTION * self._internal_capacity))
         self.root = RStarNode(level=0, page_id=self.disk.allocate_page())
         self.size = 0
+        #: Pages whose entries (or whose subtree MBRs) changed since the
+        #: last :meth:`drain_dirty_pages` call.  Mutating operations mark a
+        #: touched node *and all its ancestors* — a child's MBR change makes
+        #: the parent's cached per-child state (e.g. BBS expansion keys in
+        #: :class:`~repro.skyline.bbs.SkylineCache`) stale too.  Pages of
+        #: nodes removed from the tree are marked as well, so a consumer can
+        #: scope cache invalidation to exactly the pages a mutation touched.
+        self._dirty_pages: Set[int] = set()
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -126,6 +134,19 @@ class RStarTree:
     def _read(self, node: RStarNode, counters: Optional[CostCounters]) -> None:
         self.disk.read_page(node.page_id, counters)
 
+    # ---------------------------------------------------------- dirty pages
+    def _mark_dirty(self, node: Optional[RStarNode]) -> None:
+        """Mark ``node`` and every ancestor as structurally changed."""
+        while node is not None:
+            self._dirty_pages.add(node.page_id)
+            node = node.parent
+
+    def drain_dirty_pages(self) -> Set[int]:
+        """Return and reset the pages touched by mutations since the last drain."""
+        dirty = self._dirty_pages
+        self._dirty_pages = set()
+        return dirty
+
     # -------------------------------------------------------------- insertion
     def insert(self, point: Sequence[float] | np.ndarray, record_id: int) -> None:
         """Insert one data point using the R*-tree insertion algorithm."""
@@ -138,6 +159,7 @@ class RStarTree:
     def _insert_entry(self, entry, level: int, reinserted_levels: set) -> None:
         node = self._choose_subtree(entry.mbr, level)
         node.add(entry)
+        self._mark_dirty(node)
         self._overflow_treatment(node, reinserted_levels)
 
     def _choose_subtree(self, mbr: MBR, level: int) -> RStarNode:
@@ -196,6 +218,7 @@ class RStarTree:
         reinsert_count = max(1, int(REINSERT_FRACTION * len(entries)))
         to_reinsert = entries[:reinsert_count]
         node.replace_entries(entries[reinsert_count:])
+        self._mark_dirty(node)
         for entry in reversed(to_reinsert):  # close reinsertion order
             self._insert_entry(entry, level=node.level, reinserted_levels=reinserted_levels)
 
@@ -216,6 +239,8 @@ class RStarTree:
             self.root = new_root
         else:
             node.parent.add(new_node)
+        self._mark_dirty(node)
+        self._mark_dirty(new_node)
 
     @staticmethod
     def _sorted_by_axis(entries: List, axis: int, use_upper: bool) -> List:
@@ -254,6 +279,103 @@ class RStarTree:
                 best = (list(first), list(second))
         assert best is not None
         return best
+
+    # --------------------------------------------------------------- deletion
+    def delete(self, point: Sequence[float] | np.ndarray, record_id: int) -> None:
+        """Delete one data record, condensing under-full nodes.
+
+        Follows the classic R-tree deletion algorithm [Guttman 1984], which
+        the R*-tree adopts unchanged: locate the leaf holding the entry,
+        remove it, then *condense* the path — every ancestor that falls
+        under the minimum fill is removed from its parent and the entries of
+        the removed nodes are re-inserted at their original level, so the
+        fill invariant is restored by the same ChooseSubtree / forced
+        reinsertion / split machinery that built the tree.  The root is
+        exempt from the fill minimum; an internal root left with a single
+        child is shrunk (the child becomes the new root), reversing the
+        root split of the insertion path.
+
+        Raises
+        ------
+        IndexError_
+            When no leaf stores ``record_id`` at ``point``.
+        """
+        p = np.asarray(point, dtype=float).ravel()
+        if p.shape[0] != self.dim:
+            raise IndexError_(f"point has {p.shape[0]} dimensions, tree expects {self.dim}")
+        found = self._find_leaf(p, record_id)
+        if found is None:
+            raise IndexError_(f"record {record_id} not found in the tree at {p}")
+        leaf, entry = found
+        leaf.remove(entry)
+        self._mark_dirty(leaf)
+        self.size -= 1
+
+        # Condense the path: collect under-full ancestors bottom-up.
+        eliminated: List[RStarNode] = []
+        node = leaf
+        while node is not self.root:
+            parent = node.parent
+            if len(node.entries) < self._min_entries(node) and len(parent.entries) > 1:
+                parent.remove(node)
+                self._mark_dirty(parent)
+                self._dirty_pages.add(node.page_id)
+                eliminated.append(node)
+            node = parent
+
+        # Re-insert the entries of every eliminated node at its own level —
+        # leaf entries re-enter leaves, orphaned subtrees re-attach at their
+        # original height, exactly as in CondenseTree.
+        for dead in eliminated:
+            for orphan in dead.entries:
+                if isinstance(orphan, RStarNode):
+                    orphan.parent = None
+                self._insert_entry(orphan, level=dead.level, reinserted_levels=set())
+
+        # Shrink an internal root left with one child (undo the root split).
+        while not self.root.is_leaf and len(self.root.entries) == 1:
+            self._dirty_pages.add(self.root.page_id)
+            child = self.root.entries[0]
+            child.parent = None
+            self.root = child
+            self._dirty_pages.add(child.page_id)
+
+    def _find_leaf(
+        self, point: np.ndarray, record_id: int
+    ) -> Optional[Tuple[RStarNode, LeafEntry]]:
+        """Locate the leaf (and entry) storing ``record_id`` at ``point``."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    if entry.record_id == record_id and np.array_equal(entry.point, point):
+                        return node, entry
+                continue
+            for child in node.entries:
+                if child.mbr.intersects_box(point, point):
+                    stack.append(child)
+        return None
+
+    def renumber_after_delete(self, removed_id: int) -> None:
+        """Shift every record id above ``removed_id`` down by one.
+
+        Record ids are dataset row indices throughout the library, and
+        removing row ``j`` with ``np.delete`` shifts every later row up by
+        one; this re-labels the leaf entries to match.  Points (and hence
+        every MBR and BBS expansion key) are untouched, so no cached
+        geometry is invalidated by the renumbering itself.
+        """
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                stack.extend(node.entries)
+                continue
+            entries = node.entries
+            for position, entry in enumerate(entries):
+                if entry.record_id > removed_id:
+                    entries[position] = LeafEntry(entry.record_id - 1, entry.point)
 
     # ------------------------------------------------------------- bulk load
     def _bulk_load(self, points: np.ndarray) -> None:

@@ -23,6 +23,32 @@ and a ``tau = 4`` run may split leaves differently than a ``tau = 2`` run
 would.  That is why tau-monotone reuse is an opt-in policy on the service
 (``tau_policy="monotone"``) while the default (``"exact"``) only serves
 exact-key hits and preserves the service's bit-identity contract.
+
+Scoped mutation invalidation
+----------------------------
+When the owning service inserts or deletes a record ``r``, a cached answer
+for focal ``f`` survives only if the mutation provably cannot change *any
+byte* of it (the provenance-scoping pattern: derive, per cached answer, the
+data region that could affect it and skip the rest).  Three cases:
+
+* ``f`` weakly dominates ``r`` (duplicates included): ``r`` is not
+  incomparable to ``f`` and contributes net zero to the dominator count, so
+  it never participates in the computation at all → **retain**.
+* ``r`` strictly dominates ``f``: the dominator count (hence ``k*``)
+  changes → **evict**.
+* ``r`` is incomparable to ``f``: retain only if some record ``d`` that is
+  itself incomparable to ``f``, strictly dominates ``r`` and was *never
+  materialised* by the cached computation
+  (:attr:`~repro.core.result.MaxRankResult.materialised_ids`) exists.  BBS
+  accepts records in decreasing coordinate-sum order and ``d`` — or an
+  active member transitively dominating it — is on the progressive skyline
+  whenever ``r`` would be checked, so ``r`` can never surface, the same
+  half-spaces are expanded in the same order, and the reported regions and
+  every dataset-derived counter are byte-identical with or without ``r``.
+
+Answers without a provenance scope (``materialised_ids is None`` — BA, FCA,
+the oracles, tau-monotone derivations) take the full-flush fallback: any
+mutation evicts them.
 """
 
 from __future__ import annotations
@@ -32,7 +58,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.result import MaxRankResult
+from ..core.result import MaxRankRegion, MaxRankResult
 from ..errors import AlgorithmError
 from ..stats import CostCounters
 
@@ -108,6 +134,84 @@ def derive_lower_tau(result: MaxRankResult, tau: int) -> MaxRankResult:
     )
 
 
+def _mutation_leaves_result_intact(
+    records: np.ndarray,
+    result: MaxRankResult,
+    point: np.ndarray,
+    exclude_index: Optional[int] = None,
+) -> bool:
+    """True when touching ``point`` provably cannot change ``result``.
+
+    Implements the three-way scoped-invalidation predicate of the module
+    docstring.  ``records`` is the *pre-mutation* record matrix (its row
+    indices align with the cached answer's ``materialised_ids``);
+    ``exclude_index`` is the deleted row for delete mutations (a record
+    cannot witness its own removal).
+    """
+    focal = result.focal
+    materialised = result.materialised_ids
+    if focal is None or materialised is None:
+        return False  # no provenance scope: full-flush fallback
+    if point.shape[0] != focal.shape[0]:
+        return False
+    if (focal >= point).all():
+        return True   # dominated by / duplicate of the focal record
+    if (point >= focal).all() and (point > focal).any():
+        return False  # dominates the focal record: k* changes
+    # Incomparable: look for a never-materialised incomparable dominator.
+    geq = (records >= focal).all(axis=1)
+    leq = (records <= focal).all(axis=1)
+    witnesses = ~(geq | leq)
+    witnesses &= (records >= point).all(axis=1) & (records > point).any(axis=1)
+    if exclude_index is not None:
+        witnesses[exclude_index] = False
+    if materialised and witnesses.any():
+        for record_id in materialised:
+            if record_id < witnesses.shape[0]:
+                witnesses[record_id] = False
+    return bool(witnesses.any())
+
+
+def _shift_ids_after_delete(result: MaxRankResult, removed_id: int) -> MaxRankResult:
+    """Re-label record ids above ``removed_id`` in a retained cached answer.
+
+    Record ids are dataset row indices, so deleting row ``j`` shifts every
+    later id down by one.  A retained answer never references the removed
+    record itself (retention implies it was never materialised), so the
+    shift is a pure re-labelling: geometry, orders and representative
+    points are byte-identical.  Returns a *new* result (results already
+    handed to callers are never mutated).
+    """
+    regions = [
+        MaxRankRegion(
+            geometry=region.geometry,
+            cell_order=region.cell_order,
+            order=region.order,
+            outscored_by=tuple(
+                rid - 1 if rid > removed_id else rid for rid in region.outscored_by
+            ),
+        )
+        for region in result.regions
+    ]
+    materialised = result.materialised_ids
+    if materialised is not None:
+        materialised = frozenset(
+            rid - 1 if rid > removed_id else rid for rid in materialised
+        )
+    return MaxRankResult(
+        k_star=result.k_star,
+        regions=regions,
+        dominator_count=result.dominator_count,
+        minimum_cell_order=result.minimum_cell_order,
+        tau=result.tau,
+        algorithm=result.algorithm,
+        counters=result.counters,
+        cpu_seconds=result.cpu_seconds,
+        focal=result.focal,
+        materialised_ids=materialised,
+    )
+
+
 class QueryCache:
     """Bounded LRU cache of MaxRank results with optional tau-monotone reuse.
 
@@ -127,6 +231,9 @@ class QueryCache:
         self.misses = 0
         self.monotone_hits = 0
         self.evictions = 0
+        #: entries evicted / kept by scoped mutation invalidation
+        self.invalidated = 0
+        self.retained = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -184,3 +291,61 @@ class QueryCache:
     def clear(self) -> None:
         """Drop every cached result (hit/miss statistics are kept)."""
         self._entries.clear()
+
+    # ------------------------------------------------- mutation invalidation
+    def invalidate_for_insert(
+        self, records_before: np.ndarray, point: np.ndarray
+    ) -> Tuple[int, int]:
+        """Scoped eviction for the insertion of ``point``.
+
+        ``records_before`` is the record matrix *before* the insertion (the
+        matrix the cached answers were computed against).  Returns the
+        ``(invalidated, retained)`` pair for this mutation and accumulates
+        both counters.
+        """
+        point = np.asarray(point, dtype=float).ravel()
+        survivors: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
+        dropped = 0
+        for key, result in self._entries.items():
+            if _mutation_leaves_result_intact(records_before, result, point):
+                survivors[key] = result
+            else:
+                dropped += 1
+        self._entries = survivors
+        self.invalidated += dropped
+        self.retained += len(survivors)
+        return dropped, len(survivors)
+
+    def invalidate_for_delete(
+        self, records_before: np.ndarray, removed_id: int, point: np.ndarray
+    ) -> Tuple[int, int]:
+        """Scoped eviction for the deletion of record ``removed_id``.
+
+        Must run *before* the dataset is renumbered (``records_before`` row
+        indices align with the cached provenance scopes).  Answers whose
+        focal is the removed record are always evicted; every surviving
+        entry is re-keyed and re-labelled for the post-delete id space (row
+        indices above ``removed_id`` shift down by one).  Returns the
+        ``(invalidated, retained)`` pair and accumulates both counters.
+        """
+        point = np.asarray(point, dtype=float).ravel()
+        removed_id = int(removed_id)
+        survivors: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
+        dropped = 0
+        for key, result in self._entries.items():
+            identity = key[0]
+            if identity[0] == "idx" and identity[1] == removed_id:
+                dropped += 1  # the focal record itself is gone
+                continue
+            if not _mutation_leaves_result_intact(
+                records_before, result, point, exclude_index=removed_id
+            ):
+                dropped += 1
+                continue
+            if identity[0] == "idx" and identity[1] > removed_id:
+                key = (("idx", identity[1] - 1),) + key[1:]
+            survivors[key] = _shift_ids_after_delete(result, removed_id)
+        self._entries = survivors
+        self.invalidated += dropped
+        self.retained += len(survivors)
+        return dropped, len(survivors)

@@ -20,11 +20,24 @@ Three subcommands drive the service end-to-end (``python -m repro.service``):
         python -m repro.service query --snapshot idx.rprs --batch 16 --jobs 2 \
             --tau 1 --verify-standalone
 
+``insert`` / ``delete``
+    Mutate a snapshot in place (or into ``--out``): load, apply one
+    incremental insert / delete (R*-tree maintained in place, no rebuild)
+    and re-save, reporting the new size and the scoped cache-invalidation
+    outcome as JSON::
+
+        python -m repro.service insert --snapshot idx.rprs --record 0.4 0.2 0.7
+        python -m repro.service delete --snapshot idx.rprs --record-id 17
+
 ``serve``
     A long-running loop reading JSON queries from stdin, one per line
     (``{"focal": 5, "tau": 1}`` or ``{"focal": [0.4, 0.3, 0.3]}``), writing
     JSON answers to stdout — the minimal shape of a network service without
-    binding the library to any transport::
+    binding the library to any transport.  Mutation requests ride the same
+    loop: ``{"cmd": "insert", "record": [0.4, 0.2, 0.7]}`` and
+    ``{"cmd": "delete", "record_id": 17}`` mutate the served dataset
+    between queries and answer with the new size plus the scoped
+    cache-invalidation counters::
 
         printf '{"focal": 5}\n{"focal": 5}\n' | \
             python -m repro.service serve --snapshot idx.rprs
@@ -196,6 +209,35 @@ def _verify_standalone(
     return 0
 
 
+def _mutation_summary(service: MaxRankService, action: str, detail: dict) -> dict:
+    """JSON summary shared by the mutate subcommands and serve requests."""
+    summary = {action: True, "n": service.dataset.n}
+    summary.update(detail)
+    summary["invalidated"] = service.cache.invalidated
+    summary["retained"] = service.cache.retained
+    return summary
+
+
+def _insert(args: argparse.Namespace) -> int:
+    with MaxRankService.from_snapshot(args.snapshot) as service:
+        new_id = service.insert(np.asarray(args.record, dtype=float))
+        service.save_snapshot(args.out or args.snapshot)
+        print(json.dumps(_mutation_summary(service, "inserted", {"record_id": new_id})))
+    return 0
+
+
+def _delete(args: argparse.Namespace) -> int:
+    with MaxRankService.from_snapshot(args.snapshot) as service:
+        point = service.delete(args.record_id)
+        service.save_snapshot(args.out or args.snapshot)
+        print(json.dumps(_mutation_summary(
+            service, "deleted",
+            {"record_id": args.record_id,
+             "record": [round(float(v), 9) for v in point]},
+        )))
+    return 0
+
+
 def _request_lines(should_stop):
     """Yield stdin lines, polling so a drain signal is honoured promptly.
 
@@ -279,6 +321,21 @@ def _serve(args: argparse.Namespace) -> int:
                         continue
                     if request.get("cmd") == "quit":
                         break
+                    if request.get("cmd") == "insert":
+                        new_id = service.insert(
+                            np.asarray(request["record"], dtype=float)
+                        )
+                        print(json.dumps(_mutation_summary(
+                            service, "inserted", {"record_id": new_id}
+                        )), flush=True)
+                        continue
+                    if request.get("cmd") == "delete":
+                        record_id = request["record_id"]
+                        service.delete(record_id)
+                        print(json.dumps(_mutation_summary(
+                            service, "deleted", {"record_id": int(record_id)}
+                        )), flush=True)
+                        continue
                     focal = request["focal"]
                     if isinstance(focal, list):
                         focal = np.asarray(focal, dtype=float)
@@ -362,6 +419,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="re-run every unique query standalone and require "
                             "bit-identical answers (CI smoke gate)")
     query.set_defaults(handler=_query)
+
+    insert = commands.add_parser("insert", help="insert one record into a snapshot")
+    insert.add_argument("--snapshot", required=True)
+    insert.add_argument("--record", required=True, type=float, nargs="+",
+                        metavar="V", help="attribute values of the new record")
+    insert.add_argument("--out", default=None,
+                        help="output snapshot path (default: overwrite --snapshot)")
+    insert.set_defaults(handler=_insert)
+
+    delete = commands.add_parser("delete", help="delete one record from a snapshot")
+    delete.add_argument("--snapshot", required=True)
+    delete.add_argument("--record-id", required=True, type=int, metavar="IDX",
+                        help="row index of the record to delete (later ids "
+                             "shift down by one)")
+    delete.add_argument("--out", default=None,
+                        help="output snapshot path (default: overwrite --snapshot)")
+    delete.set_defaults(handler=_delete)
 
     serve = commands.add_parser("serve", help="serve JSON queries from stdin")
     serve.add_argument("--snapshot", required=True)

@@ -16,7 +16,12 @@ the focal record across the queries it answers —
   (opt-in) lower-``tau`` queries are derived from cached superset answers;
 * **batches** (:meth:`MaxRankService.query_batch`) run their cache-missing
   queries through the execution engine's executors — whole queries as work
-  units — with deterministic submission-order merge.
+  units — with deterministic submission-order merge;
+* the dataset is **mutable** (:meth:`MaxRankService.insert` /
+  :meth:`MaxRankService.delete`): the R*-tree is maintained incrementally,
+  only the warm skyline keys of structurally touched pages are dropped, and
+  cached answers survive a mutation whenever their provenance scope proves
+  the touched record cannot affect them (see :mod:`repro.service.cache`).
 
 Identity contract
 -----------------
@@ -153,6 +158,8 @@ class MaxRankService:
         #: set by from_snapshot when a broken snapshot was rebuilt from data
         self.snapshot_fallback = False
         self.snapshot_error: Optional[str] = None
+        self.inserts = 0
+        self.deletes = 0
         self._token = register_state(dataset, self.tree, self.skyline_cache)
         self._executors: Dict[int, LeafTaskExecutor] = {}
         self._closed = False
@@ -526,6 +533,93 @@ class MaxRankService:
             deadline=deadline,
         )
 
+    # ------------------------------------------------------------- mutations
+    def _replace_dataset(self, records: np.ndarray) -> None:
+        """Swap in a mutated record matrix and refresh every shared handle.
+
+        The batch-worker registry and any live process pools hold (or have
+        forked with) the *old* dataset object; both must be refreshed or a
+        subsequent ``jobs >= 2`` batch would silently answer against the
+        pre-mutation records.
+        """
+        self.dataset = Dataset(
+            records,
+            attribute_names=(
+                list(self.dataset.attribute_names)
+                if self.dataset.attribute_names is not None
+                else None
+            ),
+            name=self.dataset.name,
+        )
+        unregister_state(self._token)
+        self._token = register_state(self.dataset, self.tree, self.skyline_cache)
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    def insert(self, record: Sequence[float] | np.ndarray) -> int:
+        """Insert ``record`` into the owned dataset; returns its record id.
+
+        Incremental end to end: the R*-tree absorbs the new leaf entry in
+        place, the warm skyline keys of the touched pages (and only those)
+        are dropped, and cached answers survive whenever the new record
+        provably cannot change them (see
+        :meth:`repro.service.cache.QueryCache.invalidate_for_insert`).
+        After the call the service is indistinguishable from one freshly
+        built over the mutated dataset: every answer it returns — computed
+        or served from a retained cache entry — is bit-identical to that
+        oracle's.
+        """
+        if self._closed:
+            raise AlgorithmError("the service is closed")
+        point = np.asarray(record, dtype=float).ravel()
+        if point.shape[0] != self.dataset.d:
+            raise AlgorithmError(
+                f"record has {point.shape[0]} attributes, dataset has {self.dataset.d}"
+            )
+        if not np.all(np.isfinite(point)):
+            raise AlgorithmError("record attributes must be finite numbers")
+        records_before = self.dataset.records
+        self.cache.invalidate_for_insert(records_before, point)
+        new_id = self.dataset.n
+        self.tree.insert(point, new_id)
+        self.skyline_cache.invalidate_pages(self.tree.drain_dirty_pages())
+        self._replace_dataset(np.vstack([records_before, point[np.newaxis, :]]))
+        self.inserts += 1
+        return new_id
+
+    def delete(self, record_id: int) -> np.ndarray:
+        """Delete record ``record_id``; returns the removed point.
+
+        Record ids are dataset row indices, so every id above ``record_id``
+        shifts down by one — in the dataset, in the R*-tree leaf entries and
+        in the keys and region labels of retained cache entries.  Cache
+        invalidation runs against the *pre-delete* matrix (provenance scopes
+        align with old row indices); the R*-tree removes the leaf entry and
+        condenses under-full nodes in place.  The bit-identity contract of
+        :meth:`insert` holds here too.
+        """
+        if self._closed:
+            raise AlgorithmError("the service is closed")
+        if isinstance(record_id, bool) or not isinstance(record_id, (int, np.integer)):
+            raise AlgorithmError(f"record_id must be an integer, got {record_id!r}")
+        record_id = int(record_id)
+        if not 0 <= record_id < self.dataset.n:
+            raise AlgorithmError(
+                f"record_id {record_id} out of range [0, {self.dataset.n})"
+            )
+        if self.dataset.n <= 1:
+            raise AlgorithmError("cannot delete the last record of a dataset")
+        records_before = self.dataset.records
+        point = records_before[record_id].copy()
+        self.cache.invalidate_for_delete(records_before, record_id, point)
+        self.tree.delete(point, record_id)
+        self.tree.renumber_after_delete(record_id)
+        self.skyline_cache.invalidate_pages(self.tree.drain_dirty_pages())
+        self._replace_dataset(np.delete(records_before, record_id, axis=0))
+        self.deletes += 1
+        return point
+
     # ---------------------------------------------------------------- stats
     def stats(self) -> Dict[str, object]:
         """Service-level statistics (cache behaviour, amortisation, sizes)."""
@@ -541,6 +635,10 @@ class MaxRankService:
             "cache_monotone_hits": self.cache.monotone_hits,
             "cache_evictions": self.cache.evictions,
             "cache_entries": len(self.cache),
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "invalidated": self.cache.invalidated,
+            "retained": self.cache.retained,
             "skyline_reused": self.counters.skyline_reused,
             "skyline_nodes_warm": len(self.skyline_cache),
             "tree_build_seconds": round(self.tree_build_seconds, 6),

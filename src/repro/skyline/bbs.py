@@ -112,6 +112,22 @@ class SkylineCache:
         self._child_keys[node.page_id] = keys
         return keys, False
 
+    def invalidate_pages(self, page_ids) -> int:
+        """Drop the warm keys of ``page_ids``; returns how many were dropped.
+
+        Called by the mutable service layer after an R*-tree insert/delete
+        with the tree's dirty-page set (mutated nodes plus their ancestors —
+        a child MBR change alters the parent's child keys).  Page ids are
+        never reused by the :class:`~repro.index.diskio.DiskSimulator`, so
+        dropping exactly the dirty pages is sound: every surviving key still
+        describes an unchanged node.
+        """
+        dropped = 0
+        for page_id in page_ids:
+            if self._child_keys.pop(page_id, None) is not None:
+                dropped += 1
+        return dropped
+
 
 class IncrementalSkyline:
     """BBS skyline with support for excluding (expanding) skyline records.
@@ -279,6 +295,75 @@ class IncrementalSkyline:
         if self._counters is not None:
             self._counters.skyline_updates += 1
         self._process_heap()
+        return self._additions[before:]
+
+    # ------------------------------------------------------ mutation repair
+    def remove_record(self, record_id: int) -> List[SkylineRecord]:
+        """Repair the skyline after ``record_id`` was deleted from the dataset.
+
+        Deletion repair is exclusion: the record leaves the skyline (if it
+        was on it), everything parked under it is re-activated against the
+        remaining members, and the record is permanently ignored — the same
+        mechanics AA's expansion uses, applied for a different reason.
+        Works whether the record is currently active, parked, or was never
+        seen (a record still buried in the heap is guarded by the exclusion
+        set).  Returns the members the removal newly exposed.
+        """
+        return self.exclude(record_id)
+
+    def insert_record(self, record_id: int, point: np.ndarray) -> List[SkylineRecord]:
+        """Repair the skyline after ``(record_id, point)`` was inserted.
+
+        The new record is processed exactly as a freshly popped leaf entry
+        would be: dropped if the accept predicate rejects it, parked under
+        the first dominating skyline member if one exists (resumable like
+        every other parked entry — it surfaces if that member is later
+        removed), and accepted otherwise.  An accepted insert additionally
+        *demotes* every active member it dominates: the member leaves the
+        skyline and is parked under the new record with its settled prefix
+        preserved, so excluding the insert later restores it through the
+        ordinary re-activation path.  Returns the newly added members (the
+        inserted record itself, when accepted).
+        """
+        self._process_heap()  # settle pending search state first
+        p = np.asarray(point, dtype=float).ravel()
+        if record_id in self._excluded:
+            return []
+        if record_id in self._id_to_idx:
+            raise AlgorithmError(
+                f"record {record_id} is already on the skyline; inserts need "
+                f"a fresh record id"
+            )
+        if self._accept is not None and not self._accept(record_id, p):
+            return []
+        entry = LeafEntry(record_id, p)
+        blocker = self._first_dominator(entry.point, 0)
+        if blocker is not None:
+            self._defer(blocker, entry)
+            return []
+        new_index = len(self._additions)
+        before = new_index
+        self._accept_record(entry)
+        # Demote active members the insert dominates (antichain invariant):
+        # they park under the new record — everything before it is settled
+        # (the active set was an antichain), everything after gets checked
+        # on re-activation.
+        demoted = [
+            index
+            for index in self._active_idx
+            if index != new_index
+            and (self._points[index] <= entry.point).all()
+            and (self._points[index] < entry.point).any()
+        ]
+        for index in demoted:
+            self._active_idx.remove(index)
+            self._active_np = None
+            member = self._additions[index]
+            self._deferred.setdefault(record_id, []).append(
+                (LeafEntry(member.record_id, member.point), new_index + 1)
+            )
+        if self._counters is not None:
+            self._counters.skyline_updates += 1
         return self._additions[before:]
 
     # ------------------------------------------------------------- main loop

@@ -252,3 +252,122 @@ class TestSkyband:
         tree = RStarTree.build(data.records)
         with pytest.raises(ValueError):
             bbs_skyband(tree, 0)
+
+
+class TestSkylineRepair:
+    """insert_record / remove_record keep the skyline equal to recomputation."""
+
+    @staticmethod
+    def naive_ids(points_by_id):
+        ids = sorted(points_by_id)
+        matrix = np.vstack([points_by_id[i] for i in ids])
+        return {ids[i] for i in naive_skyline(matrix)}
+
+    def test_insert_new_skyline_member_matches_naive(self):
+        data = generate_independent(100, 3, seed=31)
+        tree = RStarTree.build(data.records, max_entries=8)
+        sky = IncrementalSkyline(tree)
+        sky.compute()
+        points = {i: data.records[i] for i in range(data.n)}
+        rng = np.random.default_rng(31)
+        for new_id in range(data.n, data.n + 8):
+            point = rng.uniform(0.05, 0.95, size=3)
+            tree.insert(point, new_id)
+            sky.insert_record(new_id, point)
+            points[new_id] = point
+            assert {r.record_id for r in sky.skyline} == self.naive_ids(points)
+
+    def test_insert_dominated_record_is_a_no_op(self):
+        data = generate_independent(80, 3, seed=32)
+        tree = RStarTree.build(data.records, max_entries=8)
+        sky = IncrementalSkyline(tree)
+        before = {r.record_id for r in sky.compute()}
+        member = next(iter(before))
+        dominated = data.records[member] * 0.5
+        tree.insert(dominated, data.n)
+        assert sky.insert_record(data.n, dominated) == []
+        assert {r.record_id for r in sky.skyline} == before
+
+    def test_dominating_insert_demotes_then_exclusion_restores(self):
+        """A record dominating skyline members demotes them; excluding it
+        later must resurface exactly the members it subsumed (plus anything
+        parked beneath them), matching the quadratic oracle at every step."""
+        data = generate_anticorrelated(70, 3, seed=33)
+        tree = RStarTree.build(data.records, max_entries=8)
+        sky = IncrementalSkyline(tree)
+        sky.compute()
+        points = {i: data.records[i] for i in range(data.n)}
+        dominating = data.records.max(axis=0) * 0.98 + 0.02
+        tree.insert(dominating, data.n)
+        newly = sky.insert_record(data.n, dominating)
+        points[data.n] = dominating
+        assert [r.record_id for r in newly] == [data.n]
+        assert {r.record_id for r in sky.skyline} == self.naive_ids(points)
+        del points[data.n]
+        sky.remove_record(data.n)
+        assert {r.record_id for r in sky.skyline} == self.naive_ids(points)
+
+    def test_interleaved_inserts_and_removes_match_naive(self):
+        data = generate_anticorrelated(50, 3, seed=34)
+        tree = RStarTree.build(data.records, max_entries=8)
+        sky = IncrementalSkyline(tree)
+        sky.compute()
+        points = {i: data.records[i] for i in range(data.n)}
+        rng = np.random.default_rng(34)
+        next_id = data.n
+        for step in range(16):
+            if step % 3 == 2 and len(points) > 2:
+                victim = int(rng.choice(sorted(points)))
+                del points[victim]
+                sky.remove_record(victim)
+            else:
+                point = rng.uniform(0.05, 0.95, size=3)
+                tree.insert(point, next_id)
+                sky.insert_record(next_id, point)
+                points[next_id] = point
+                next_id += 1
+            assert {r.record_id for r in sky.skyline} == self.naive_ids(points)
+
+    def test_insert_duplicate_member_raises(self):
+        data = generate_independent(40, 3, seed=35)
+        tree = RStarTree.build(data.records, max_entries=8)
+        sky = IncrementalSkyline(tree)
+        member = next(iter(sky.compute()))
+        with pytest.raises(AlgorithmError, match="already on the skyline"):
+            sky.insert_record(member.record_id, member.point)
+
+    def test_insert_of_excluded_record_stays_excluded(self):
+        data = generate_independent(40, 3, seed=36)
+        tree = RStarTree.build(data.records, max_entries=8)
+        sky = IncrementalSkyline(tree)
+        member = next(iter(sky.compute()))
+        sky.remove_record(member.record_id)
+        assert sky.insert_record(member.record_id, member.point) == []
+        assert member.record_id not in {r.record_id for r in sky.skyline}
+
+
+class TestSkylineCachePageInvalidation:
+    def test_invalidate_dirty_pages_keeps_warm_answers_correct(self):
+        data = generate_independent(300, 3, seed=41)
+        tree = RStarTree.build(data.records, max_entries=8)
+        cache = SkylineCache(tree)
+        IncrementalSkyline(tree, cache=cache).compute()
+        assert len(cache) > 0
+        tree.drain_dirty_pages()
+        tree.delete(data.records[5], 5)
+        dropped = cache.invalidate_pages(tree.drain_dirty_pages())
+        assert dropped > 0
+        warm = {r.record_id for r in IncrementalSkyline(tree, cache=cache).compute()}
+        rebuilt = RStarTree.build(np.delete(data.records, 5, axis=0), max_entries=8)
+        renumbered = {r.record_id for r in IncrementalSkyline(rebuilt).compute()}
+        expected = {i + 1 if i >= 5 else i for i in renumbered}
+        assert warm == expected
+
+    def test_invalidate_unknown_pages_is_a_no_op(self):
+        data = generate_independent(50, 3, seed=42)
+        tree = RStarTree.build(data.records, max_entries=8)
+        cache = SkylineCache(tree)
+        IncrementalSkyline(tree, cache=cache).compute()
+        size = len(cache)
+        assert cache.invalidate_pages({10_000_000}) == 0
+        assert len(cache) == size

@@ -40,7 +40,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import CostCounters, MaxRankService, generate, maxrank
+from repro import CostCounters, Dataset, MaxRankService, generate, maxrank
 from repro.engine import Deadline, InlineTaskExecutor, ProcessPoolExecutor
 from repro.errors import (
     AlgorithmError,
@@ -221,6 +221,38 @@ class TestCrashRecovery:
                 )
             stats = service.stats()
 
+        assert stats["worker_retries"] >= 1
+        assert stats["degraded_batches"] == 0
+        assert [result_fingerprint(r) for r in survived] == [
+            result_fingerprint(r) for r in expected
+        ]
+        for got, want in zip(survived, expected):
+            assert invariant_dump(got.counters) == invariant_dump(want.counters)
+
+    def test_mutation_batch_survives_worker_kill(self):
+        """Seeded kill mid-batch right after insert/delete mutations: the
+        dataset swap closes the old forked pools, so the retried batch must
+        answer against the *mutated* records — bit-identical to a cold
+        service built over the same post-mutation dataset."""
+        dataset = generate("IND", 160, 3, seed=11)
+        rng = np.random.default_rng(23)
+        focals = [3, 17, 29, 41]
+
+        with MaxRankService(dataset) as service:
+            service.insert(rng.uniform(0.05, 0.95, size=3))
+            service.delete(int(rng.integers(0, service.dataset.n)))
+            service.insert(rng.uniform(0.05, 0.95, size=3))
+            mutated = service.dataset.records.copy()
+            with inject(FaultPlan(kill_worker_on_chunk=0, kill_times=1)):
+                survived = service.query_batch(
+                    focals, tau=1, jobs=2, use_cache=False
+                )
+            stats = service.stats()
+
+        with MaxRankService(Dataset(mutated, name="oracle")) as oracle:
+            expected = oracle.query_batch(focals, tau=1, use_cache=False)
+
+        assert stats["inserts"] == 2 and stats["deletes"] == 1
         assert stats["worker_retries"] >= 1
         assert stats["degraded_batches"] == 0
         assert [result_fingerprint(r) for r in survived] == [

@@ -1,0 +1,222 @@
+"""Mutation-differential harness: incremental maintenance vs. fresh oracle.
+
+The mutable service (:meth:`MaxRankService.insert` / ``delete``) claims that
+after any sequence of mutations it is *indistinguishable* from a service
+freshly built over the mutated dataset — every answer bit-identical, every
+engine-invariant counter equal, and no retained cache entry ever serving a
+stale answer.  This harness attacks that claim with randomized, seeded
+insert/delete/query sequences across the distribution × dimension × tau
+matrix:
+
+* after **every** mutation, a cold oracle service is built from scratch on
+  a copy of the mutated records and probed alongside the incremental
+  service — fingerprints (:func:`result_fingerprint`) must match byte for
+  byte and the :data:`MUTATION_INVARIANT_COUNTERS` must be equal, even
+  though the incrementally maintained R*-tree and the oracle's bulk-built
+  tree have different shapes;
+* a **stale-answer detector** walks every cache entry that survived scoped
+  invalidation and re-derives it on the oracle — a single stale byte fails
+  the case;
+* each sequence plants one insert that is dominated by an already-cached
+  focal record, so scoped invalidation *must* retain at least one entry per
+  case (``retained > 0`` is asserted case by case, and eviction is asserted
+  in aggregate);
+* a ``jobs=2`` sweep re-runs post-mutation probes through the process-pool
+  batch path.
+
+Counters excluded from the invariant set (``page_reads``,
+``distinct_page_reads``, ``records_accessed``) legitimately depend on the
+tree shape; everything the algorithms derive from the *data* does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.generators import generate
+from repro.service import MaxRankService, result_fingerprint
+
+#: Counters that must be equal between an incrementally maintained service
+#: and a fresh-built oracle.  Tree-shape-dependent IO counters
+#: (page_reads, distinct_page_reads, records_accessed) and service-layer
+#: counters are excluded by design.
+MUTATION_INVARIANT_COUNTERS = (
+    "halfspaces_inserted",
+    "halfspaces_expanded",
+    "cells_examined",
+    "nonempty_cells",
+    "candidates_generated",
+    "prefixes_cut",
+    "screen_accepts",
+    "screen_rejects",
+    "pairwise_pruned",
+    "lines_inserted",
+    "faces_enumerated",
+    "lp_calls",
+    "lp_constraint_rows",
+    "leaves_processed",
+    "leaves_pruned",
+    "iterations",
+    "skyline_updates",
+)
+
+#: (distribution, d, tau, dataset size, mutations, warm/probe width); ANTI
+#: and d = 4 use smaller workloads to keep the 40-case matrix inside the CI
+#: budget — tau = 4 at d = 4 widens the explored skyband sharply, so those
+#: two cells shrink the most.
+CONFIGS = [
+    ("IND", 3, 1, 42, 6, 4),
+    ("IND", 3, 4, 42, 6, 4),
+    ("ANTI", 3, 1, 26, 6, 4),
+    ("ANTI", 3, 4, 26, 6, 4),
+    ("IND", 4, 1, 30, 6, 4),
+    ("IND", 4, 4, 12, 4, 2),
+    ("ANTI", 4, 1, 16, 6, 4),
+    ("ANTI", 4, 4, 8, 4, 2),
+]
+SEEDS = range(5)
+
+CASES = [
+    pytest.param(dist, d, tau, n, mutations, width, seed,
+                 id=f"{dist}-d{d}-tau{tau}-s{seed}")
+    for (dist, d, tau, n, mutations, width) in CONFIGS
+    for seed in SEEDS
+]
+
+#: Aggregated across the whole matrix by the parametrized cases; the
+#: trailing aggregate test (pytest runs file order) gates the totals.
+TALLY = {"retained": 0, "invalidated": 0, "stale": 0, "cases": 0}
+
+
+def invariant_dump(result):
+    return {name: getattr(result.counters, name) for name in MUTATION_INVARIANT_COUNTERS}
+
+
+def build_oracle(service):
+    """Cold service over a copy of the mutated records — the ground truth."""
+    return MaxRankService(
+        Dataset(service.dataset.records.copy(), name="oracle"), cache_size=0
+    )
+
+
+def probe_focals(rng, n, count=3):
+    return sorted(rng.choice(n, size=min(count, n), replace=False).tolist())
+
+
+def assert_matches_oracle(service, oracle, focal, tau):
+    """Computed answers must match the oracle in bytes *and* counters."""
+    served = service.query(focal, tau=tau, use_cache=False)
+    reference = oracle.query(focal, tau=tau, use_cache=False)
+    assert result_fingerprint(served) == result_fingerprint(reference)
+    assert invariant_dump(served) == invariant_dump(reference)
+
+
+def count_stale_entries(service, oracle):
+    """Stale-answer detector: re-derive every surviving cache entry cold."""
+    stale = 0
+    for key, cached in list(service.cache._entries.items()):
+        identity, tau = key[0], key[1]
+        focal = identity[1] if identity[0] == "idx" else np.frombuffer(identity[1])
+        reference = oracle.query(focal, tau=tau, use_cache=False)
+        if result_fingerprint(cached) != result_fingerprint(reference):
+            stale += 1
+    return stale
+
+
+def run_sequence(service, *, tau, seed, mutations=6, width=4):
+    """Drive one seeded insert/delete/query sequence, verifying every step.
+
+    ``width`` controls the warm-cache size and the per-step probe count —
+    the knob that scales a case's cost (each probe is answered by both the
+    incremental service and a cold oracle).
+    """
+    rng = np.random.default_rng(seed * 7919 + service.dataset.d)
+    d = service.dataset.d
+
+    warm_focals = probe_focals(rng, service.dataset.n, count=width)
+    for focal in warm_focals:
+        service.query(focal, tau=tau)
+
+    # Planted retention witness: a record strictly dominated by a cached
+    # focal can never influence that focal's answer, so its insertion MUST
+    # leave the entry in the cache (scoped invalidation case 1).
+    planted = service.dataset.records[warm_focals[0]] * 0.5
+
+    for step in range(mutations):
+        if step == 0:
+            service.insert(planted)
+        elif step % 3 == 2 and service.dataset.n > 4:
+            service.delete(int(rng.integers(0, service.dataset.n)))
+        else:
+            service.insert(rng.uniform(0.05, 0.95, size=d))
+
+        oracle = build_oracle(service)
+        try:
+            TALLY["stale"] += (stale := count_stale_entries(service, oracle))
+            assert stale == 0, f"stale cache entries after step {step}"
+            for focal in probe_focals(rng, service.dataset.n, count=width - 1):
+                assert_matches_oracle(service, oracle, focal, tau)
+            # Cached (possibly retained) serves must agree too.
+            for focal in probe_focals(rng, service.dataset.n, count=width - 1):
+                served = service.query(focal, tau=tau)
+                reference = oracle.query(focal, tau=tau, use_cache=False)
+                assert result_fingerprint(served) == result_fingerprint(reference)
+        finally:
+            oracle.close()
+
+
+class TestMutationDifferential:
+    """After every mutation the service equals a fresh-built oracle."""
+
+    @pytest.mark.parametrize("dist, d, tau, n, mutations, width, seed", CASES)
+    def test_sequence_matches_oracle(self, dist, d, tau, n, mutations, width, seed):
+        dataset = generate(dist, n, d, seed=seed)
+        with MaxRankService(dataset, cache_size=64) as service:
+            run_sequence(service, tau=tau, seed=seed, mutations=mutations,
+                         width=width)
+            stats = service.stats()
+            assert stats["inserts"] >= 3 and stats["deletes"] >= 1
+            assert stats["retained"] > 0, "planted dominated insert must be retained"
+            TALLY["retained"] += stats["retained"]
+            TALLY["invalidated"] += stats["invalidated"]
+            TALLY["cases"] += 1
+
+
+class TestMutationBatchParallel:
+    """Post-mutation batches through the jobs=2 process pool match the oracle."""
+
+    @pytest.mark.parametrize(
+        "dist, d, n", [("IND", 3, 42), ("ANTI", 3, 26), ("IND", 4, 30)]
+    )
+    def test_parallel_batch_after_mutations(self, dist, d, n):
+        dataset = generate(dist, n, d, seed=11)
+        rng = np.random.default_rng(101)
+        with MaxRankService(dataset, cache_size=64) as service:
+            service.insert(rng.uniform(0.05, 0.95, size=d))
+            service.delete(int(rng.integers(0, service.dataset.n)))
+            service.insert(rng.uniform(0.05, 0.95, size=d))
+            focals = probe_focals(rng, service.dataset.n, count=6)
+            batch = service.query_batch(focals, tau=1, jobs=2)
+            oracle = build_oracle(service)
+            try:
+                for focal, served in zip(focals, batch):
+                    reference = oracle.query(focal, tau=1, use_cache=False)
+                    assert result_fingerprint(served) == result_fingerprint(reference)
+                    assert invariant_dump(served) == invariant_dump(reference)
+            finally:
+                oracle.close()
+
+
+class TestMatrixAggregates:
+    """Runs after the parametrized matrix (pytest preserves file order)."""
+
+    def test_matrix_retained_and_invalidated(self):
+        assert TALLY["cases"] == len(CASES)
+        assert TALLY["stale"] == 0, "zero stale cached serves across the matrix"
+        assert TALLY["retained"] > 0
+        assert TALLY["invalidated"] > 0, (
+            "scoped invalidation never evicting anything across 40 mutated "
+            "sequences would mean the predicate is vacuous"
+        )

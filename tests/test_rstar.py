@@ -167,3 +167,139 @@ class TestQueries:
         tree = RStarTree.build(data.records, max_entries=8)
         results = tree.range_query([0.0, 0.0], [1.0, 1.0])
         assert len(results) == 120
+
+
+def walk_nodes(tree):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(node.entries)
+
+
+def assert_structural_invariants(tree, max_entries):
+    """MBR containment/tightness, fill bounds and aggregate counts."""
+    for node in walk_nodes(tree):
+        assert len(node.entries) <= max_entries
+        if node is not tree.root:
+            assert node.entries, "condensation must never leave an empty node"
+            # Condensation eliminates under-full nodes unless they are the
+            # sole child of their parent (which deletion cannot empty).
+            assert (
+                len(node.entries) >= tree._min_entries(node)
+                or len(node.parent.entries) == 1
+            )
+        if node.is_leaf:
+            points = np.vstack([entry.point for entry in node.entries]) \
+                if node.entries else None
+            if points is not None:
+                assert np.array_equal(node.mbr.lower, points.min(axis=0))
+                assert np.array_equal(node.mbr.upper, points.max(axis=0))
+            assert node.count == len(node.entries)
+        else:
+            for child in node.entries:
+                assert child.parent is node
+                assert node.mbr.contains_box(child.mbr)
+            assert node.count == sum(child.count for child in node.entries)
+
+
+class TestDeletion:
+    @pytest.mark.parametrize("method", ["bulk", "insert"])
+    def test_delete_half_keeps_queries_exact(self, method):
+        data = generate_independent(300, 3, seed=21)
+        tree = RStarTree.build(data.records, method=method, max_entries=10)
+        rng = np.random.default_rng(21)
+        removed = rng.choice(300, size=150, replace=False)
+        for record_id in removed:
+            tree.delete(data.records[record_id], int(record_id))
+        assert tree.size == 150
+        assert_structural_invariants(tree, 10)
+        remaining = sorted(set(range(300)) - set(removed.tolist()))
+        assert sorted(e.record_id for e in tree.all_entries()) == remaining
+        for _ in range(10):
+            lower = rng.uniform(0.0, 0.6, size=3)
+            upper = lower + rng.uniform(0.1, 0.4, size=3)
+            expected = brute_force_range(data.records, lower, upper) - set(
+                removed.tolist()
+            )
+            got = {record_id for record_id, _ in tree.range_query(lower, upper)}
+            assert got == expected
+
+    def test_delete_and_renumber_matches_bulk_build_on_remaining(self):
+        """delete + renumber must be observationally equal to rebuilding."""
+        from repro.skyline.bbs import IncrementalSkyline
+
+        rng = np.random.default_rng(5)
+        for seed in range(4):
+            data = generate_independent(120, 3, seed=seed)
+            tree = RStarTree.build(data.records, max_entries=8)
+            victim = int(rng.integers(0, 120))
+            tree.delete(data.records[victim], victim)
+            tree.renumber_after_delete(victim)
+            remaining = np.delete(data.records, victim, axis=0)
+            rebuilt = RStarTree.build(remaining, max_entries=8)
+            entries = sorted(
+                (e.record_id, e.point.tobytes()) for e in tree.all_entries()
+            )
+            expected = sorted(
+                (e.record_id, e.point.tobytes()) for e in rebuilt.all_entries()
+            )
+            assert entries == expected
+            incremental = {m.record_id for m in IncrementalSkyline(tree).compute()}
+            reference = {m.record_id for m in IncrementalSkyline(rebuilt).compute()}
+            assert incremental == reference
+
+    def test_delete_down_to_one_record_shrinks_root(self):
+        data = generate_independent(90, 2, seed=13)
+        tree = RStarTree.build(data.records, method="insert", max_entries=8)
+        assert tree.height > 1
+        for record_id in range(89):
+            tree.delete(data.records[record_id], record_id)
+        assert tree.size == 1
+        assert tree.root.is_leaf and tree.height == 1
+        (entry,) = list(tree.all_entries())
+        assert entry.record_id == 89
+
+    def test_delete_unknown_record_raises(self):
+        data = generate_independent(50, 3, seed=14)
+        tree = RStarTree.build(data.records, max_entries=8)
+        with pytest.raises(IndexError_):
+            tree.delete(data.records[7], 49)  # point/id mismatch
+        with pytest.raises(IndexError_):
+            tree.delete(np.full(3, 2.0), 7)  # point outside every MBR
+        tree.delete(data.records[7], 7)
+        with pytest.raises(IndexError_):
+            tree.delete(data.records[7], 7)  # already gone
+        assert tree.size == 49
+
+    def test_delete_wrong_dimension(self):
+        data = generate_independent(20, 3, seed=15)
+        tree = RStarTree.build(data.records, max_entries=8)
+        with pytest.raises(IndexError_):
+            tree.delete([0.5, 0.5], 0)
+
+    def test_delete_tracks_dirty_pages(self):
+        data = generate_independent(200, 3, seed=16)
+        tree = RStarTree.build(data.records, max_entries=8)
+        tree.drain_dirty_pages()  # discard construction dirt
+        tree.delete(data.records[3], 3)
+        dirty = tree.drain_dirty_pages()
+        assert tree.root.page_id in dirty  # ancestors are always included
+        assert tree.drain_dirty_pages() == set()
+
+    @given(seed=st.integers(0, 40))
+    @settings(max_examples=10, deadline=None)
+    def test_random_delete_sequences_preserve_invariants(self, seed):
+        data = generate_independent(80, 2, seed=seed)
+        tree = RStarTree.build(data.records, method="insert", max_entries=8)
+        rng = np.random.default_rng(seed)
+        removed = rng.choice(80, size=40, replace=False)
+        for record_id in removed:
+            tree.delete(data.records[record_id], int(record_id))
+        assert_structural_invariants(tree, 8)
+        survivors = brute_force_range(data.records, [0.0, 0.0], [1.0, 1.0]) - set(
+            removed.tolist()
+        )
+        got = {record_id for record_id, _ in tree.range_query([0, 0], [1, 1])}
+        assert got == survivors

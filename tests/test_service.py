@@ -406,3 +406,126 @@ class TestServiceCli:
         run = self._run("query", "--snapshot", str(tmp_path / "none.rprs"))
         assert run.returncode == 2
         assert "error:" in run.stderr
+
+
+class TestScopedInvalidation:
+    """Mutations evict exactly the cached answers they can affect."""
+
+    def test_insert_outside_every_scope_evicts_nothing(self):
+        """A record dominated by every cached focal cannot touch any cached
+        answer: zero evictions, ``retained`` exact, same result objects."""
+        dataset = generate("IND", 200, 3, seed=51)
+        with MaxRankService(dataset) as service:
+            focals = [10, 25, 40, 60]
+            before = {f: service.query(f, tau=1) for f in focals}
+            entries = len(service.cache)
+            harmless = dataset.records[focals].min(axis=0) * 0.5
+            service.insert(harmless)
+            assert service.cache.invalidated == 0
+            assert service.cache.retained == entries
+            hits = service.cache.hits
+            for f in focals:
+                assert service.query(f, tau=1) is before[f]
+            assert service.cache.hits == hits + len(focals)
+
+    def test_dominating_insert_evicts_exactly_the_affected_keys(self):
+        dataset = generate("IND", 200, 3, seed=52)
+        low = np.array([0.15, 0.15, 0.15])
+        high = np.array([0.85, 0.85, 0.85])
+        with MaxRankService(dataset) as service:
+            service.query(low, tau=1)
+            service.query(high, tau=1)
+            service.insert([0.4, 0.4, 0.4])  # dominates low, dominated by high
+            assert service.cache.invalidated == 1
+            assert service.cache.retained == 1
+            hits = service.cache.hits
+            service.query(high, tau=1)
+            assert service.cache.hits == hits + 1      # retained entry serves
+            computed = service.queries_computed
+            retained = service.query(high, tau=1)
+            service.query(low, tau=1)                  # must recompute
+            assert service.queries_computed == computed + 1
+            oracle_counters = CostCounters()
+            oracle = maxrank(service.dataset, high, tau=1, counters=oracle_counters)
+            assert result_fingerprint(retained) == result_fingerprint(oracle)
+
+    def test_scopeless_answers_take_the_full_flush_fallback(self):
+        """BA results carry no provenance scope, so any mutation — even one
+        dominated by the focal — must evict them."""
+        dataset = generate("IND", 120, 3, seed=53)
+        with MaxRankService(dataset, algorithm="ba") as service:
+            result = service.query(7, tau=1)
+            assert result.materialised_ids is None
+            service.insert(dataset.records[7] * 0.5)
+            assert service.cache.invalidated == 1
+            assert service.cache.retained == 0
+            assert len(service.cache) == 0
+
+    def test_monotone_derived_answers_are_flushed_with_their_scope(self):
+        """tau-monotone derivations carry no scope (fresh counters, no
+        provenance); the superset answer they came from keeps its own."""
+        dataset = generate("IND", 150, 3, seed=54)
+        with MaxRankService(dataset, tau_policy="monotone") as service:
+            service.query(9, tau=4)
+            derived = service.query(9, tau=1)   # derived from the tau=4 answer
+            assert derived.materialised_ids is None
+            assert len(service.cache) == 2
+            service.insert(dataset.records[9] * 0.5)  # in no answer's scope
+            assert service.cache.invalidated == 1     # only the derivation
+            assert service.cache.retained == 1
+
+    def test_delete_remaps_retained_keys_and_ids(self):
+        """Deleting row j shifts cached idx keys (and region labels) above j
+        down by one; the remapped entry serves bit-identically."""
+        dataset = generate("IND", 200, 3, seed=55)
+        with MaxRankService(dataset) as service:
+            # Pick a (focal, victim) pair with victim < focal and the focal
+            # weakly dominating the victim: the victim is outside the cached
+            # answer's scope, so the entry must survive the delete.
+            focal = victim = None
+            for candidate in range(199, 0, -1):
+                dominated = np.flatnonzero(
+                    (dataset.records[:candidate]
+                     <= dataset.records[candidate]).all(axis=1)
+                )
+                if dominated.size:
+                    focal, victim = candidate, int(dominated[0])
+                    break
+            assert focal is not None, "seed must yield a dominated pair"
+            service.query(focal, tau=1)
+            service.delete(victim)
+            assert service.cache.retained == 1 and service.cache.invalidated == 0
+            hits = service.cache.hits
+            served = service.query(focal - 1, tau=1)
+            assert service.cache.hits == hits + 1
+            oracle = maxrank(service.dataset, focal - 1, tau=1)
+            assert result_fingerprint(served) == result_fingerprint(oracle)
+            n = service.dataset.n
+            for region in served.regions:
+                assert all(0 <= rid < n for rid in region.outscored_by)
+
+    def test_delete_of_cached_focal_evicts_its_entries(self):
+        dataset = generate("IND", 150, 3, seed=56)
+        with MaxRankService(dataset) as service:
+            service.query(30, tau=0)
+            service.query(30, tau=2)
+            service.delete(30)
+            assert len(service.cache) == 0
+            assert service.cache.invalidated == 2
+
+    def test_mutation_validation(self):
+        dataset = generate("IND", 50, 3, seed=57)
+        with MaxRankService(dataset) as service:
+            with pytest.raises(AlgorithmError):
+                service.insert([0.1, 0.2])              # wrong dimension
+            with pytest.raises(AlgorithmError):
+                service.insert([0.1, 0.2, float("nan")])
+            with pytest.raises(AlgorithmError):
+                service.delete(50)                      # out of range
+            with pytest.raises(AlgorithmError):
+                service.delete(-1)
+            with pytest.raises(AlgorithmError):
+                service.delete("7")                     # type: ignore[arg-type]
+            assert service.dataset.n == 50
+        with pytest.raises(AlgorithmError):
+            service.insert([0.1, 0.2, 0.3])             # closed service
