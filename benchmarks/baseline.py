@@ -58,6 +58,16 @@ amortisation counters (``cache_hits``, ``skyline_reused``) alongside the
 work counters, so losing the service's reuse fails CI like losing a pruning
 step does.
 
+A ``build/`` workload family watches quad-tree construction: one full-query
+configuration that pins the cost-model split policy's recovery of the
+small-``n`` ``d = 4`` shape, and two cold-start construction-only
+configurations (``n = 4k`` and ``n = 50k``, explicit ``max_depth``) that
+time ``insert_bulk`` alone.  Their construction counters
+(``halfspaces_inserted`` / ``nodes_created`` / ``splits_performed``) are
+serial/parallel-invariant by the parallel-identity contract and are gated
+*exactly* by ``--compare``; ``--family build`` restricts a run to this
+family (CI smokes it with ``--jobs 2``).
+
 An ``update/`` workload family exercises the mutable service: a seeded
 80/20 query/mutate sequence (inserts and deletes interleaved with cached
 queries) against one long-lived service.  Before anything is recorded,
@@ -86,13 +96,18 @@ from typing import Dict, List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.accessor import DataAccessor            # noqa: E402
 from repro.core.maxrank import maxrank                  # noqa: E402
 from repro.data.generators import generate              # noqa: E402
+from repro.engine.executors import make_executor        # noqa: E402
 from repro.experiments.harness import run_batch, select_focal_records  # noqa: E402
 from repro.experiments.reporting import format_table, screen_funnel  # noqa: E402
+from repro.geometry.halfspace import halfspace_for_record  # noqa: E402
 from repro.geometry.seidel import solve_lp              # noqa: E402
 from repro.index.rstar import RStarTree                 # noqa: E402
+from repro.quadtree.quadtree import AugmentedQuadTree   # noqa: E402
 from repro.service.core import MaxRankService, result_fingerprint  # noqa: E402
+from repro.stats import CostCounters                    # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_maxrank.json"
 SCHEMA = 1
@@ -225,6 +240,55 @@ UPDATE_CONFIGS: List[UpdateBenchConfig] = [
 UPDATE_EXACT_COUNTERS = ("inserts", "deletes", "invalidated", "retained")
 
 
+@dataclass(frozen=True)
+class BuildBenchConfig:
+    """One frozen construction-focused configuration.
+
+    ``query=True`` runs a full AA query batch (so the record carries the
+    end-to-end fingerprint and funnel alongside the construction volume);
+    ``query=False`` measures the cold quad-tree build alone: scan the
+    incomparable records, derive their half-spaces, time ``insert_bulk``.
+    ``max_depth`` must be explicit on the large-``n`` cold builds — the
+    dim-aware default depth is sized for the paper's small-``n`` panels and
+    saturates toward millions of nodes at ``n = 50k``.
+    """
+
+    key: str
+    distribution: str
+    n: int
+    d: int
+    split_policy: str = "static"
+    query: bool = False
+    quick: bool = False
+    max_depth: Optional[int] = None
+    split_threshold: Optional[int] = None
+
+
+BUILD_CONFIGS: List[BuildBenchConfig] = [
+    # The PR 3 threshold-rebalance regression shape: under the cost policy
+    # this must come back under the committed wall/LP numbers (the static
+    # numbers live in quick/fig9/d=4).
+    BuildBenchConfig("build/quick/fig9/d=4/cost", "IND", 150, 4,
+                     split_policy="cost", query=True, quick=True),
+    # Cold-start construction at scale: wall is dominated by the split
+    # cascade, which is what --jobs parallelises.  Depth is capped at 5 —
+    # a full 8-ary depth-5 tree is ≤ 37k nodes, so node volume stays
+    # deterministic and exact-gated while the build is long enough to
+    # parallelise.
+    BuildBenchConfig("build/cold/d=4/n=4000", "IND", 4000, 4,
+                     max_depth=5, quick=True),
+    BuildBenchConfig("build/cold/d=4/n=50000", "IND", 50000, 4, max_depth=5),
+]
+
+#: Construction counters gated *exactly* on the ``build/`` family: the
+#: split cascade is deterministic for a frozen workload and — by the
+#: parallel-identity contract — invariant under --jobs, so any drift is a
+#: real change to the tree being built.  ``build_tasks`` is deliberately
+#: absent: it counts subtree units shipped to workers, which legitimately
+#: varies with jobs (0 when serial).
+BUILD_EXACT_COUNTERS = ("halfspaces_inserted", "nodes_created", "splits_performed")
+
+
 def calibrate(rounds: int = 1500, repeats: int = 3) -> float:
     """Seconds for a fixed CPU workload; normalises wall-clock across hosts.
 
@@ -259,11 +323,12 @@ def run_config(
     config: BenchConfig,
     jobs: Optional[int] = None,
     engine: Optional[str] = None,
+    extra_options: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Execute one configuration and return its measurement record."""
     dataset = generate(config.distribution, config.n, config.d, seed=0)
     tree = RStarTree.build(dataset.records)
-    options: Dict[str, object] = {}
+    options: Dict[str, object] = dict(extra_options or {})
     if config.d == 3:
         # The engine switch only exists for the d = 3 quad-tree path; the
         # default (None) is the facade's auto-dispatch, i.e. planar.
@@ -307,6 +372,85 @@ def run_config(
         "degraded_batches": int(counters.get("degraded_batches", 0)),
         "deadline_checks": int(counters.get("deadline_checks", 0)),
         "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
+        "halfspaces_inserted": int(counters.get("halfspaces_inserted", 0)),
+        "nodes_created": int(counters.get("nodes_created", 0)),
+        "splits_performed": int(counters.get("splits_performed", 0)),
+        "build_tasks": int(counters.get("build_tasks", 0)),
+    }
+
+
+def run_build_config(
+    config: BuildBenchConfig,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, object]:
+    """Execute one construction-focused configuration.
+
+    ``query=True`` delegates to :func:`run_config` (full AA query, one
+    focal) with the configured ``split_policy``, so the record carries the
+    usual fingerprint and funnel fields plus the construction volume.
+    ``query=False`` reproduces exactly the cold-build prefix of BA/AA —
+    incomparable scan, half-space derivation, ``insert_bulk`` — and times
+    only the ``insert_bulk`` call (the split cascade ``--jobs``
+    parallelises); the query-side fields are recorded as empty/zero.
+    """
+    if config.query:
+        return run_config(
+            BenchConfig(config.key, config.distribution, config.n, config.d,
+                        queries=1, quick=config.quick),
+            jobs=jobs,
+            engine=engine,
+            extra_options={"split_policy": config.split_policy},
+        )
+
+    counters = CostCounters()
+    dataset = generate(config.distribution, config.n, config.d, seed=0)
+    tree = RStarTree.build(dataset.records)
+    focal = int(select_focal_records(dataset, 1, seed=0)[0])
+    accessor = DataAccessor(dataset, focal, tree=tree, counters=counters)
+    halfspaces = [
+        halfspace_for_record(point, accessor.focal, record_id=record_id)
+        for record_id, point in accessor.scan_incomparable()
+    ]
+    quadtree = AugmentedQuadTree(
+        config.d - 1,
+        split_threshold=config.split_threshold,
+        max_depth=config.max_depth,
+        split_policy=config.split_policy,
+        counters=counters,
+    )
+    executor = make_executor(jobs) if jobs else None
+    try:
+        start = time.perf_counter()
+        quadtree.insert_bulk(halfspaces, executor=executor)
+        wall = time.perf_counter() - start
+    finally:
+        if executor is not None:
+            executor.close()
+    dump = counters.as_dict()
+    return {
+        "wall_s": round(wall, 4),
+        "cpu_s": round(wall, 4),
+        "io": float(dump.get("page_reads", 0)),
+        "k_stars": [],
+        "region_counts": [],
+        "lp_calls": 0,
+        "cells_examined": 0,
+        "candidates_generated": 0,
+        "prefixes_cut": 0,
+        "pairwise_pruned": 0,
+        "screen_accepts": 0,
+        "screen_rejects": 0,
+        "lines_inserted": 0,
+        "faces_enumerated": 0,
+        "worker_retries": int(dump.get("worker_retries", 0)),
+        "degraded_batches": int(dump.get("degraded_batches", 0)),
+        "deadline_checks": int(dump.get("deadline_checks", 0)),
+        "screen_resolved_ratio": 0.0,
+        "halfspaces_inserted": int(dump.get("halfspaces_inserted", 0)),
+        "nodes_created": int(dump.get("nodes_created", 0)),
+        "splits_performed": int(dump.get("splits_performed", 0)),
+        "build_tasks": int(dump.get("build_tasks", 0)),
     }
 
 
@@ -500,18 +644,34 @@ def run_matrix(
     quick: bool,
     jobs: Optional[int] = None,
     engine: Optional[str] = None,
+    family: str = "all",
 ) -> Dict[str, Dict[str, object]]:
-    """Run the (possibly restricted) workload matrix."""
+    """Run the (possibly restricted) workload matrix.
+
+    ``family="build"`` restricts the run to the ``build/`` configurations
+    (the construction-focused subset CI smokes with ``--jobs 2``);
+    ``"all"`` runs everything.
+    """
     results: Dict[str, Dict[str, object]] = {}
-    for config in CONFIGS:
-        if quick and not config.quick:
+    if family == "all":
+        for config in CONFIGS:
+            if quick and not config.quick:
+                continue
+            if engine == "generic" and config.d == 3 and config.distribution == "ANTI":
+                print(f"skipping {config.key}: the generic engine is infeasible on "
+                      f"anticorrelated d=3 leaves (use the planar engine)", flush=True)
+                continue
+            print(f"running {config.key} ...", flush=True)
+            results[config.key] = run_config(config, jobs=jobs, engine=engine)
+    for build_config in BUILD_CONFIGS:
+        if quick and not build_config.quick:
             continue
-        if engine == "generic" and config.d == 3 and config.distribution == "ANTI":
-            print(f"skipping {config.key}: the generic engine is infeasible on "
-                  f"anticorrelated d=3 leaves (use the planar engine)", flush=True)
-            continue
-        print(f"running {config.key} ...", flush=True)
-        results[config.key] = run_config(config, jobs=jobs, engine=engine)
+        print(f"running {build_config.key} (construction) ...", flush=True)
+        results[build_config.key] = run_build_config(
+            build_config, jobs=jobs, engine=engine
+        )
+    if family != "all":
+        return results
     for service_config in SERVICE_CONFIGS:
         if quick and not service_config.quick:
             continue
@@ -599,6 +759,18 @@ def compare(
                         f"{key}: {counter} changed {base_value} -> {value} "
                         f"(scoped mutation invalidation drifted)"
                     )
+        if key.startswith("build/"):
+            # Construction gates: the split cascade is deterministic and
+            # serial/parallel-invariant, so these must match exactly — a
+            # drift means the tree being built changed shape.
+            for counter in BUILD_EXACT_COUNTERS:
+                base_value = int(base.get(counter, -1))
+                value = int(entry.get(counter, -1))
+                if value != base_value:
+                    failures.append(
+                        f"{key}: {counter} changed {base_value} -> {value} "
+                        f"(construction volume drifted)"
+                    )
         for counter in ROBUSTNESS_ZERO_COUNTERS:
             base_value = float(base.get(counter, 0))
             value = float(entry.get(counter, 0))
@@ -649,9 +821,14 @@ def print_report(results: Dict[str, Dict[str, object]]) -> None:
             row["hits"] = entry["cache_hits"]
             row["inv"] = entry["invalidated"]
             row["ret"] = entry["retained"]
+        if key.startswith("build/"):
+            row["nodes"] = entry["nodes_created"]
+            row["splits"] = entry["splits_performed"]
+            row["tasks"] = entry["build_tasks"]
         rows.append(row)
     columns = ["config", "wall_s", "k*", "|T|", "lp", "generated", "cut",
-               "screened%", "warm_x", "hits", "inv", "ret"]
+               "screened%", "warm_x", "hits", "inv", "ret",
+               "nodes", "splits", "tasks"]
     print()
     print(format_table(rows, columns, title="MaxRank benchmark matrix"))
 
@@ -709,6 +886,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: auto-dispatch, i.e. planar at d=3). "
                              "Results are bit-identical; ANTI d=3 configs are "
                              "skipped under 'generic' (infeasible)")
+    parser.add_argument("--family", choices=("all", "build"), default="all",
+                        help="restrict the matrix to one workload family "
+                             "('build' = the construction-focused configs; "
+                             "used by the CI build smoke with --jobs 2)")
     args = parser.parse_args(argv)
     if args.update and args.jobs and args.jobs > 1:
         parser.error("--update records the serial baseline; drop --jobs")
@@ -723,7 +904,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"calibration: {calibration:.3f}s"
           + (f", jobs: {args.jobs}" if args.jobs else "")
           + (f", engine: {args.engine}" if args.engine else ""))
-    results = run_matrix(quick=args.quick, jobs=args.jobs, engine=args.engine)
+    results = run_matrix(quick=args.quick, jobs=args.jobs, engine=args.engine,
+                         family=args.family)
     print_report(results)
 
     status = 0

@@ -54,6 +54,8 @@ def aa_maxrank(
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    split_policy: str = "static",
     use_pairwise: bool = True,
     use_planar: bool = False,
     executor: Optional[LeafTaskExecutor] = None,
@@ -86,6 +88,15 @@ def aa_maxrank(
     split_threshold:
         Quad-tree leaf split threshold (ablation A2); ``None`` picks the
         dimension-aware default.
+    max_depth:
+        Quad-tree depth cap; ``None`` picks the dimension-aware default and
+        ``0`` keeps the whole reduced space as one fat leaf — the
+        ``engine="planar-global"`` whole-space mode at ``d = 3``.
+    split_policy:
+        ``"static"`` (default) or ``"cost"`` — see
+        :class:`~repro.quadtree.quadtree.AugmentedQuadTree`.  ``k*`` and
+        the covered regions are policy-invariant; only the leaf-fragment
+        granularity of the reported regions differs.
     use_pairwise:
         Enable the pairwise binary constraints of Section 5.2 (ablation A1
         switches them off).  On by default: the LP-free pair analysis
@@ -149,7 +160,11 @@ def aa_maxrank(
     dominators = accessor.dominator_count()
     reduced_dim = dataset.d - 1
     quadtree = AugmentedQuadTree(
-        reduced_dim, split_threshold=split_threshold, counters=counters
+        reduced_dim,
+        split_threshold=split_threshold,
+        max_depth=max_depth,
+        split_policy=split_policy,
+        counters=counters,
     )
     skyline = accessor.incremental_skyline()
 
@@ -169,10 +184,18 @@ def aa_maxrank(
         )
 
     def flush_staged() -> None:
-        """Bulk-insert every staged half-space with one tree descent."""
+        """Bulk-insert every staged half-space with one tree descent.
+
+        The executor is threaded through so the *initial* flush — a cold
+        build — can fan the split cascade out to the pool; later
+        (incremental) flushes fail the tree's cold-build gate and stay
+        serial automatically.
+        """
         if not staged:
             return
-        ids = quadtree.insert_bulk([halfspace for _, halfspace in staged])
+        ids = quadtree.insert_bulk(
+            [halfspace for _, halfspace in staged], executor=executor
+        )
         for (record_id, _), hid in zip(staged, ids):
             record_to_hid[record_id] = hid
             augmented_ids.add(hid)
@@ -181,6 +204,11 @@ def aa_maxrank(
     with counters.timer("skyline"):
         for member in skyline.compute():
             stage_record(member.record_id, member.point)
+    # The initial build gets its own timer (separate from the BBS skyline
+    # pass above) so `build_wall_fraction` means the same thing for AA and
+    # BA; expansion-time flushes remain accounted to the iteration they
+    # serve.
+    with counters.timer("quadtree_build"):
         flush_staged()
 
     if len(quadtree) == 0:

@@ -60,6 +60,8 @@ def aa3d_maxrank(
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
+    split_policy: str = "static",
+    whole_space: bool = False,
     use_pairwise: bool = True,
     executor: Optional[LeafTaskExecutor] = None,
     skyline_cache: Optional[SkylineCache] = None,
@@ -74,6 +76,14 @@ def aa3d_maxrank(
     ``k*``, regions, witness points — and all engine-invariant counters are
     bit-identical to the generic path; only the candidate-examination
     volume (and hence CPU time) differs.
+
+    With ``whole_space=True`` (the façade's ``engine="planar-global"``) the
+    quad-tree is built with ``max_depth=0``: the root never splits, the
+    whole reduced plane is one fat leaf, and the query runs as **one**
+    incremental planar arrangement extended across AA iterations — no split
+    cascade, no per-leaf scheduling.  ``k*`` and the covered region are
+    unchanged; only the leaf-fragment granularity of the reported regions
+    differs (one fragment per arrangement face over the whole plane).
 
     Raises
     ------
@@ -94,11 +104,13 @@ def aa3d_maxrank(
         tree=tree,
         counters=counters,
         split_threshold=split_threshold,
+        max_depth=0 if whole_space else None,
+        split_policy=split_policy,
         use_pairwise=use_pairwise,
         use_planar=True,
         executor=executor,
         skyline_cache=skyline_cache,
         deadline=deadline,
     )
-    result.algorithm = "AA-3D"
+    result.algorithm = "AA-3D/global" if whole_space else "AA-3D"
     return result

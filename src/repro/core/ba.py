@@ -41,6 +41,8 @@ def ba_maxrank(
     tree: Optional[RStarTree] = None,
     counters: Optional[CostCounters] = None,
     split_threshold: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    split_policy: str = "static",
     use_pairwise: bool = True,
     use_planar: bool = False,
     executor: Optional[LeafTaskExecutor] = None,
@@ -68,6 +70,14 @@ def ba_maxrank(
         Optional cost counters to accumulate into.
     split_threshold:
         Quad-tree leaf split threshold (ablation A2).
+    max_depth:
+        Quad-tree depth cap; ``0`` keeps the whole reduced space as one fat
+        leaf (the ``engine="planar-global"`` mode).
+    split_policy:
+        ``"static"`` (default) or ``"cost"`` — see
+        :class:`~repro.quadtree.quadtree.AugmentedQuadTree`.  ``k*`` and the
+        covered regions are policy-invariant; only leaf fragmentation
+        differs.
     use_pairwise:
         Enable pairwise-constraint pruning inside leaves (ablation A1).  On
         by default: the LP-free pair analysis compiles into conflict
@@ -119,7 +129,11 @@ def ba_maxrank(
 
     reduced_dim = dataset.d - 1
     quadtree = AugmentedQuadTree(
-        reduced_dim, split_threshold=split_threshold, counters=counters
+        reduced_dim,
+        split_threshold=split_threshold,
+        max_depth=max_depth,
+        split_policy=split_policy,
+        counters=counters,
     )
     if deadline is not None:
         deadline.check(counters, "ba_quadtree_build")
@@ -128,7 +142,8 @@ def ba_maxrank(
             [
                 halfspace_for_record(point, accessor.focal, record_id=record_id)
                 for record_id, point in incomparable
-            ]
+            ],
+            executor=executor,
         )
 
     if len(quadtree) == 0:

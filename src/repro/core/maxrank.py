@@ -40,9 +40,12 @@ ALGORITHMS = ("auto", "aa", "aa2d", "aa3d", "ba", "fca", "exact")
 
 #: Within-leaf engine names for the quad-tree algorithms at ``d = 3``:
 #: ``"auto"`` dispatches the planar-arrangement sweep, ``"planar"`` forces
-#: it (and requires ``d = 3``), ``"generic"`` is the escape hatch back to
-#: the combinatorial candidate generator.  Results are bit-identical.
-ENGINES = ("auto", "planar", "generic")
+#: it (and requires ``d = 3``), ``"planar-global"`` additionally skips the
+#: quad-tree (``max_depth=0`` — one arrangement over the whole reduced
+#: plane, no build cost; same ``k*``/coverage, coarser region fragments)
+#: and ``"generic"`` is the escape hatch back to the combinatorial
+#: candidate generator.  ``auto``/``planar``/``generic`` are bit-identical.
+ENGINES = ("auto", "planar", "planar-global", "generic")
 
 
 def maxrank(
@@ -91,7 +94,13 @@ def maxrank(
         escape hatch back to the combinatorial candidate generator.  The
         two engines are bit-identical in results and engine-invariant
         counters; the flag exists for A/B runs and differential testing.
-        Ignored (after validation) by the non-quad-tree algorithms.
+        ``"planar-global"`` (``d = 3``, AA only) is the whole-space mode:
+        the quad-tree is built with ``max_depth=0`` so the entire reduced
+        plane is one leaf served by a single incremental planar
+        arrangement — no split cascade at all.  ``k*`` and the covered
+        region match the other engines; only the leaf-fragment granularity
+        of the reported regions differs.  Ignored (after validation) by
+        the non-quad-tree algorithms.
     tau:
         iMaxRank slack ``τ ≥ 0``; regions covering orders up to
         ``k* + tau`` are reported.
@@ -129,7 +138,8 @@ def maxrank(
         counters; ``None`` (default) disables every checkpoint.
     options:
         Algorithm-specific tuning knobs (``split_threshold``,
-        ``use_pairwise``, ``executor`` for BA/AA).
+        ``split_policy``, ``max_depth``, ``use_pairwise``, ``executor``
+        for BA/AA).
 
     Returns
     -------
@@ -168,10 +178,10 @@ def maxrank(
         raise AlgorithmError(
             f"unknown engine {engine!r}; choose one of {ENGINES}"
         )
-    if engine_name == "planar" and dataset.d != 3:
+    if engine_name in ("planar", "planar-global") and dataset.d != 3:
         raise AlgorithmError(
-            f"engine='planar' requires d = 3 (the reduced space must be a "
-            f"plane), got d = {dataset.d}"
+            f"engine={engine_name!r} requires d = 3 (the reduced space must "
+            f"be a plane), got d = {dataset.d}"
         )
     if name == "auto":
         if dataset.d == 2:
@@ -185,6 +195,17 @@ def maxrank(
             "algorithm='aa3d' is the planar-sweep specialisation; "
             "use algorithm='aa' with engine='generic' for the generic path"
         )
+    if engine_name == "planar-global":
+        if name != "aa3d":
+            raise AlgorithmError(
+                "engine='planar-global' is the whole-space AA-3D mode; "
+                f"it cannot be combined with algorithm={algorithm!r}"
+            )
+        if "max_depth" in options:
+            raise AlgorithmError(
+                "engine='planar-global' fixes max_depth=0 (the whole reduced "
+                "plane is one leaf); don't pass max_depth alongside it"
+            )
 
     try:
         if name == "fca":
@@ -220,6 +241,8 @@ def maxrank(
                     options,
                     use_planar=dataset.d == 3 and engine_name != "generic",
                 )
+            elif engine_name == "planar-global":
+                options = dict(options, whole_space=True)
             owned = None
             if jobs is not None and options.get("executor") is None:
                 owned = make_executor(jobs)

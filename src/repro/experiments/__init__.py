@@ -11,6 +11,8 @@ from .figures import (
 )
 from .harness import BatchResult, QueryMeasurement, run_batch, select_focal_records
 from .reporting import (
+    construction_summary,
+    format_construction_summary,
     format_screen_funnel,
     format_series,
     format_table,
@@ -31,6 +33,8 @@ __all__ = [
     "print_series",
     "screen_funnel",
     "format_screen_funnel",
+    "construction_summary",
+    "format_construction_summary",
     "CONFIGS",
     "ExperimentConfig",
     "Scale",

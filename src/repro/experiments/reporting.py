@@ -17,6 +17,8 @@ __all__ = [
     "print_series",
     "screen_funnel",
     "format_screen_funnel",
+    "construction_summary",
+    "format_construction_summary",
 ]
 
 
@@ -149,6 +151,52 @@ def screen_funnel(counters: Mapping[str, float]) -> Dict[str, float]:
 def format_screen_funnel(counters: Mapping[str, float], *, title: Optional[str] = None) -> str:
     """Render :func:`screen_funnel` as a one-row aligned table."""
     return format_table([screen_funnel(counters)], title=title)
+
+
+def construction_summary(counters: Mapping[str, float]) -> Dict[str, float]:
+    """Summarise quad-tree construction from a counter dump.
+
+    Takes the dictionary of :meth:`repro.stats.CostCounters.as_dict` and
+    derives the build-side headline numbers that PERFORMANCE.md's
+    construction section tracks:
+
+    ``halfspaces_inserted`` / ``nodes_created`` / ``splits_performed``
+        Construction volume — inputs, materialised nodes and split events
+        (both node counts are serial/parallel-invariant).
+    ``nodes_per_halfspace``
+        Tree blow-up factor; the quantity the cost-model split policy is
+        designed to keep flat as dimensionality grows.
+    ``build_tasks``
+        Subtree units dispatched to worker processes (0 = serial build).
+    ``build_wall_fraction``
+        ``time_quadtree_build / (build + skyline + within_leaf)`` — the
+        share of the tracked wall clock spent constructing the tree, 0.0
+        when the dump carries no timers (e.g. merged worker counters).
+    """
+    inserted = float(counters.get("halfspaces_inserted", 0))
+    build = float(counters.get("time_quadtree_build", 0.0))
+    tracked = (
+        build
+        + float(counters.get("time_skyline", 0.0))
+        + float(counters.get("time_within_leaf", 0.0))
+    )
+    return {
+        "halfspaces_inserted": inserted,
+        "nodes_created": float(counters.get("nodes_created", 0)),
+        "splits_performed": float(counters.get("splits_performed", 0)),
+        "nodes_per_halfspace": (
+            float(counters.get("nodes_created", 0)) / inserted if inserted else 0.0
+        ),
+        "build_tasks": float(counters.get("build_tasks", 0)),
+        "build_wall_fraction": build / tracked if tracked > 0.0 else 0.0,
+    }
+
+
+def format_construction_summary(
+    counters: Mapping[str, float], *, title: Optional[str] = None
+) -> str:
+    """Render :func:`construction_summary` as a one-row aligned table."""
+    return format_table([construction_summary(counters)], title=title)
 
 
 def print_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,

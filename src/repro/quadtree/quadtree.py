@@ -39,24 +39,48 @@ array-level:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..errors import GeometryError
 from ..geometry.halfspace import BoxRelation, Halfspace
 from ..stats import CostCounters
+from .build import (
+    CLASSIFY_TOL as _CLASSIFY_TOL,
+    COST_EVAL_FLOOR,
+    SPLIT_POLICIES,
+    SubtreeBuildResult,
+    SubtreeBuildTask,
+    cost_should_split,
+)
 
-__all__ = ["QuadTreeNode", "AugmentedQuadTree", "DEFAULT_SPLIT_THRESHOLD", "DEFAULT_MAX_DEPTH"]
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an engine import cycle)
+    from ..engine.executors import LeafTaskExecutor
+
+__all__ = [
+    "QuadTreeNode",
+    "AugmentedQuadTree",
+    "DEFAULT_SPLIT_THRESHOLD",
+    "DEFAULT_MAX_DEPTH",
+    "PARALLEL_MIN_ROWS",
+]
 
 #: A leaf splits when its partial-overlap set grows beyond this many half-spaces.
 DEFAULT_SPLIT_THRESHOLD = 10
 #: Hard depth cap: at this depth leaves absorb overflow instead of splitting.
 DEFAULT_MAX_DEPTH = 8
 
-#: Tolerance of the containment / disjointness classification (matches
-#: :data:`repro.geometry.halfspace.EPSILON`).
-_CLASSIFY_TOL = 1e-9
+#: A bulk insert only fans construction out to an executor when at least
+#: this many half-spaces overlap the root — below that the task/merge
+#: overhead exceeds the whole serial cascade.  Instance attribute
+#: ``parallel_min_rows`` (initialised from this) lets tests lower the gate.
+PARALLEL_MIN_ROWS = 256
+
+#: Frontier expansion depth of a parallel build: at most this many split
+#: levels are performed in-process before the remaining over-threshold
+#: leaves are shipped as subtree tasks.
+_FANOUT_LEVELS = 3
 
 
 class QuadTreeNode:
@@ -157,9 +181,21 @@ class AugmentedQuadTree:
         Depth cap; leaves at this depth grow beyond the threshold instead of
         splitting further.  ``None`` (default) selects a dimension-aware cap
         for the same reason (node count is ``O(2^(dim·depth))`` in the worst
-        case).
+        case).  ``0`` is legal and means the root never splits — the whole
+        reduced space is one fat leaf (the ``engine="planar-global"`` mode
+        builds on this); negative or non-integral values raise
+        :class:`~repro.errors.GeometryError`.
+    split_policy:
+        ``"static"`` (default) splits a leaf whenever its partial set
+        exceeds ``split_threshold``; ``"cost"`` dry-runs the child
+        classification and splits only when the modelled within-leaf funnel
+        work of the fat leaf exceeds the split cascade's modelled cost (see
+        :func:`repro.quadtree.build.cost_should_split`).  Both policies
+        produce the same ``k*`` and covered regions — only the leaf
+        fragmentation (and hence construction/enumeration cost) differs.
     counters:
-        Optional cost counters (half-space insertions are recorded).
+        Optional cost counters (half-space insertions, nodes created,
+        splits performed and parallel build tasks are recorded).
     """
 
     def __init__(
@@ -168,6 +204,7 @@ class AugmentedQuadTree:
         *,
         split_threshold: Optional[int] = None,
         max_depth: Optional[int] = None,
+        split_policy: str = "static",
         counters: Optional[CostCounters] = None,
     ) -> None:
         if dim < 2:
@@ -201,11 +238,31 @@ class AugmentedQuadTree:
                 # and let within-leaf enumeration (bounded by the small cell
                 # orders typical at high d) do the work instead.
                 max_depth = 2
+        if isinstance(split_threshold, bool) or not isinstance(split_threshold, int):
+            raise GeometryError(
+                f"split_threshold must be an integer, got {split_threshold!r}"
+            )
         if split_threshold < 2:
+            # A threshold below 2 could never terminate: a split distributes
+            # at least one overlapping half-space to some child, which would
+            # immediately be over-threshold again at every depth.
             raise GeometryError("split_threshold must be at least 2")
+        if isinstance(max_depth, bool) or not isinstance(max_depth, int):
+            raise GeometryError(f"max_depth must be an integer, got {max_depth!r}")
+        if max_depth < 0:
+            raise GeometryError(
+                f"max_depth must be non-negative (0 keeps the root as one fat "
+                f"leaf), got {max_depth}"
+            )
+        if split_policy not in SPLIT_POLICIES:
+            raise GeometryError(
+                f"unknown split_policy {split_policy!r}; choose one of {SPLIT_POLICIES}"
+            )
         self.dim = int(dim)
         self.split_threshold = int(split_threshold)
         self.max_depth = int(max_depth)
+        self.split_policy = split_policy
+        self.parallel_min_rows = PARALLEL_MIN_ROWS
         self.counters = counters
         self._node_seq = 0
         self.root = QuadTreeNode(np.zeros(dim), np.ones(dim), depth=0, parent=None, seq=0)
@@ -387,7 +444,12 @@ class AugmentedQuadTree:
         self._insert_into(self.root, halfspace_id, halfspace)
         return halfspace_id
 
-    def insert_bulk(self, halfspaces: Sequence[Halfspace]) -> List[int]:
+    def insert_bulk(
+        self,
+        halfspaces: Sequence[Halfspace],
+        *,
+        executor: "LeafTaskExecutor | None" = None,
+    ) -> List[int]:
         """Insert several half-spaces with a single tree descent.
 
         Classifying a *batch* of half-spaces against every node's children
@@ -397,6 +459,13 @@ class AugmentedQuadTree:
         one: a node's partial/containment sets depend only on box geometry,
         and a leaf splits exactly when its final partial set exceeds the
         threshold — neither depends on arrival order.
+
+        When ``executor`` is a pool executor and this is a cold build (the
+        root has never split), the descent is partitioned into independent
+        :class:`~repro.quadtree.build.SubtreeBuildTask` units after a short
+        frontier expansion and built by the workers; the merged tree is
+        node-for-node identical to the serial build (same sequence numbers,
+        same scan-index buckets — see :meth:`_renumber_and_refile`).
         """
         halfspaces = list(halfspaces)
         for halfspace in halfspaces:
@@ -433,6 +502,16 @@ class AugmentedQuadTree:
         overlap_idx = np.nonzero(~(contains | disjoint))[0]
         if overlap_idx.size == 0:
             return ids
+        if (
+            executor is not None
+            and not executor.inline
+            and root.children is None
+            and not self._track_dirty
+            and overlap_idx.size >= self.parallel_min_rows
+            and self.max_depth > 0
+        ):
+            self._insert_bulk_parallel(executor, id_arr[overlap_idx])
+            return ids
         stack: List[Tuple[QuadTreeNode, np.ndarray]] = [(root, overlap_idx)]
         while stack:
             current, rows = stack.pop()
@@ -440,10 +519,7 @@ class AugmentedQuadTree:
                 current.partial.extend(id_arr[rows].tolist())
                 if self._track_dirty:
                     self._dirty_leaves.add(id(current))
-                if (
-                    len(current.partial) > self.split_threshold
-                    and current.depth < self.max_depth
-                ):
+                if self._should_split(current):
                     self._split(current)
                 continue
             children = current.children
@@ -473,6 +549,140 @@ class AugmentedQuadTree:
                     stack.append((child, sub_rows[o_off:o_end]))
                 o_off = o_end
         return ids
+
+    # ------------------------------------------------- parallel construction
+    def _insert_bulk_parallel(
+        self, executor: "LeafTaskExecutor", overlap_ids: np.ndarray
+    ) -> None:
+        """Cold-build the tree below the root through the execution engine.
+
+        The root's overlapping half-spaces are absorbed, a short in-process
+        frontier expansion (at most :data:`_FANOUT_LEVELS` split levels)
+        produces enough independent over-policy leaves to feed the pool, and
+        each remaining frontier leaf's full cascade ships as one
+        :class:`~repro.quadtree.build.SubtreeBuildTask`.  Split decisions are
+        pure functions of box + pending rows, so workers grow exactly the
+        subtrees the serial cascade would; :meth:`_renumber_and_refile` then
+        replays the serial cascade order over the finished structure, making
+        the parallel build node-for-node identical to the serial one —
+        sequence numbers, ``|F_l|`` priorities and scan-index buckets
+        included.
+        """
+        root = self.root
+        root.partial.extend(overlap_ids.tolist())
+        if not self._should_split(root):
+            return
+        jobs = int(getattr(executor, "jobs", None) or 2)
+        target = max(8, 4 * jobs)
+        frontier: List[Tuple[QuadTreeNode, int]] = [(root, root.full_count())]
+        levels = 0
+        while frontier and len(frontier) < target and levels < _FANOUT_LEVELS:
+            next_frontier: List[Tuple[QuadTreeNode, int]] = []
+            for node, priority in frontier:
+                self._split_one(node, priority, next_frontier)
+            frontier = next_frontier
+            levels += 1
+        counters = self.counters
+        if frontier:
+            matrix, _ = self._coef_arrays()
+            btol = self._offset_tol
+            tasks: List[SubtreeBuildTask] = []
+            task_nodes: List[QuadTreeNode] = []
+            for node, _priority in frontier:
+                rows = np.asarray(node.partial, dtype=np.intp)
+                tasks.append(
+                    SubtreeBuildTask(
+                        lower=node.lower.copy(),
+                        upper=node.upper.copy(),
+                        depth=node.depth,
+                        pending_ids=rows,
+                        coefficients=matrix[rows],
+                        offsets_tol=btol[rows],
+                        split_threshold=self.split_threshold,
+                        max_depth=self.max_depth,
+                        split_policy=self.split_policy,
+                    )
+                )
+                task_nodes.append(node)
+            if counters is not None:
+                counters.build_tasks += len(tasks)
+            results = executor.run(tasks)
+            for node, result in zip(task_nodes, results):
+                self._attach_subtree(node, result)
+                if counters is not None:
+                    counters.nodes_created += result.nodes_created
+                    counters.splits_performed += result.splits_performed
+        self._renumber_and_refile()
+
+    def _attach_subtree(self, node: QuadTreeNode, result: SubtreeBuildResult) -> None:
+        """Graft a worker-built subtree (flat arrays) below a frontier leaf."""
+        nodes: List[QuadTreeNode] = [node] * result.nodes_created
+        lowers = result.lowers
+        uppers = result.uppers
+        co = result.containment_offsets
+        po = result.partial_offsets
+        cont_ids = result.containment_flat.tolist()
+        part_ids = result.partial_flat.tolist()
+        for ev in result.events:
+            parent_idx = int(ev[0])
+            start = int(ev[1])
+            count = int(ev[2])
+            parent = node if parent_idx < 0 else nodes[parent_idx]
+            cl = lowers[start : start + count]
+            cu = uppers[start : start + count]
+            depth = parent.depth + 1
+            children: List[QuadTreeNode] = []
+            for j in range(count):
+                i = start + j
+                child = QuadTreeNode(cl[j], cu[j], depth, parent)
+                if co[i] < co[i + 1]:
+                    child.containment.extend(cont_ids[co[i] : co[i + 1]])
+                if po[i] < po[i + 1]:
+                    child.partial.extend(part_ids[po[i] : po[i + 1]])
+                nodes[i] = child
+                children.append(child)
+            parent.partial = []
+            parent.children = children
+            parent.children_lower = cl
+            parent.children_upper = cu
+
+    def _renumber_and_refile(self) -> None:
+        """Replay the serial cascade order over the finished tree structure.
+
+        A cold serial build has two properties this replay relies on: a
+        child ends up *internal* exactly when the cascade pushed it onto the
+        LIFO split stack, and a leaf's filed priority equals its final
+        ``|F_l|`` (redistribution is complete when the filing decision is
+        made).  Walking the finished structure with the same LIFO discipline
+        therefore reproduces the serial build's sequence numbers, its
+        ``_file_leaf`` call order (hence bucket contents *and* intra-bucket
+        order) and its live-leaf count — regardless of the order in which
+        frontier expansion and workers actually created the nodes.
+        """
+        root = self.root
+        self._buckets = [[root]]
+        if root.children is None:
+            self._node_seq = 1
+            self._live_leaves = 1
+            return
+        seq = 1
+        live = 0
+        stack: List[Tuple[QuadTreeNode, int]] = [(root, len(root.containment))]
+        while stack:
+            node, priority = stack.pop()
+            children = node.children
+            for child in children:
+                child.seq = seq
+                seq += 1
+            for child in children:
+                child_priority = priority + len(child.containment)
+                if child.children is not None:
+                    stack.append((child, child_priority))
+                else:
+                    self._file_leaf(child, child_priority)
+                    live += 1
+        self._node_seq = seq
+        self._live_leaves = live
 
     def replace(self, halfspace_id: int, halfspace: Halfspace) -> None:
         """Replace the half-space object stored under ``halfspace_id``.
@@ -507,10 +717,7 @@ class AugmentedQuadTree:
                 current.partial.append(halfspace_id)
                 if self._track_dirty:
                     self._dirty_leaves.add(id(current))
-                if (
-                    len(current.partial) > self.split_threshold
-                    and current.depth < self.max_depth
-                ):
+                if self._should_split(current):
                     self._split(current)
                 continue
             # Classify against every child at once: the extremes of a · x over
@@ -530,6 +737,35 @@ class AugmentedQuadTree:
                 else:
                     stack.append(child)
 
+    def _should_split(self, node: QuadTreeNode) -> bool:
+        """Decide whether a leaf splits, under the configured split policy.
+
+        ``"static"`` reproduces the historical check (partial set beyond the
+        threshold, depth below the cap); ``"cost"`` additionally dry-runs
+        the child classification and only splits when the modelled funnel
+        work of the fat leaf exceeds the modelled split cost.  The decision
+        is a pure function of the leaf box and the pending rows, so worker
+        processes (:func:`repro.quadtree.build.build_subtree`) reach the
+        identical decision.
+        """
+        if node.depth >= self.max_depth:
+            return False
+        m = len(node.partial)
+        if self.split_policy == "static":
+            return m > self.split_threshold
+        if m <= COST_EVAL_FLOOR:
+            return False
+        Apos_all, Aneg_all, btol_all = self._coef_sign_split()
+        rows = np.asarray(node.partial, dtype=np.intp)
+        return cost_should_split(
+            node.lower,
+            node.upper,
+            Apos_all[rows],
+            Aneg_all[rows],
+            btol_all[rows],
+            self._corner_masks,
+        )
+
     def _split(self, node: QuadTreeNode) -> None:
         """Split a leaf into ``2^dim`` children and redistribute its partial set.
 
@@ -544,79 +780,93 @@ class AugmentedQuadTree:
         numbers, list contents and their order — is identical to the
         straightforward per-child version it replaced.
         """
-        masks = self._corner_masks
         pending_split: List[Tuple[QuadTreeNode, int]] = [(node, node.full_count())]
-        threshold = self.split_threshold
-        max_depth = self.max_depth
         while pending_split:
             current, parent_priority = pending_split.pop()
-            centre = (current.lower + current.upper) / 2.0
-            child_lowers = np.where(masks, centre, current.lower)
-            child_uppers = np.where(masks, current.upper, centre)
-            inside = child_lowers.sum(axis=1) < 1.0
-            children: List[QuadTreeNode] = []
-            seq = self._node_seq
-            depth = current.depth + 1
-            inside_idx = np.nonzero(inside)[0]
-            child_lowers = child_lowers[inside_idx]
-            child_uppers = child_uppers[inside_idx]
-            for j in range(inside_idx.shape[0]):
-                child = QuadTreeNode(child_lowers[j], child_uppers[j], depth, current, seq)
-                seq += 1
-                children.append(child)
-            self._node_seq = seq
-            pending = current.partial
-            current.partial = []
-            current.children = children
-            current.children_lower = child_lowers
-            current.children_upper = child_uppers
-            self._live_leaves += len(children) - 1
-            if self._track_dirty:
-                # Report the split leaf as dirty so scan caches evict its
-                # (now stale) within-leaf state; the node is internal from
-                # here on and will never re-enter a cache.
-                self._dirty_leaves.add(id(current))
-            if not children:
-                continue
-            if not pending:
-                for child in children:
-                    self._file_leaf(child, parent_priority)
-                continue
-            # Vectorised redistribution: corner extremes of every pending
-            # half-space over every child box via two matrix products each.
-            Apos_all, Aneg_all, btol_all = self._coef_sign_split()
-            pending_arr = np.asarray(pending, dtype=np.intp)
-            Apos = Apos_all[pending_arr]
-            Aneg = Aneg_all[pending_arr]
-            b_pending = btol_all[pending_arr]
-            min_vals = Apos @ child_lowers.T + Aneg @ child_uppers.T
-            max_vals = Apos @ child_uppers.T + Aneg @ child_lowers.T
-            contains = min_vals > b_pending[:, None]
-            disjoint = max_vals <= b_pending[:, None]
-            overlaps = ~(contains | disjoint)
-            contained, c_counts = self._child_major_gather(contains, pending_arr)
-            contained_ids = contained.tolist()
-            overlap, o_counts = self._child_major_gather(overlaps, pending_arr)
-            overlap_ids = overlap.tolist()
-            track = self._track_dirty
-            c_off = o_off = 0
-            for j, child in enumerate(children):
-                c_end = c_off + int(c_counts[j])
-                if c_end > c_off:
-                    child.containment.extend(contained_ids[c_off:c_end])
-                c_off = c_end
-                o_end = o_off + int(o_counts[j])
-                if o_end > o_off:
-                    child.partial.extend(overlap_ids[o_off:o_end])
-                    if track:
-                        self._dirty_leaves.add(id(child))
-                o_off = o_end
-                if len(child.partial) > threshold and child.depth < max_depth:
-                    pending_split.append(
-                        (child, parent_priority + len(child.containment))
-                    )
-                else:
-                    self._file_leaf(child, parent_priority + len(child.containment))
+            self._split_one(current, parent_priority, pending_split)
+
+    def _split_one(
+        self,
+        current: QuadTreeNode,
+        parent_priority: int,
+        overflow: List[Tuple[QuadTreeNode, int]],
+    ) -> None:
+        """Perform one split event; over-policy children go to ``overflow``.
+
+        Shared by the serial cascade (:meth:`_split`, where ``overflow`` is
+        the LIFO cascade stack) and the frontier expansion of a parallel
+        build (where ``overflow`` collects the next fan-out level).
+        """
+        masks = self._corner_masks
+        centre = (current.lower + current.upper) / 2.0
+        child_lowers = np.where(masks, centre, current.lower)
+        child_uppers = np.where(masks, current.upper, centre)
+        inside = child_lowers.sum(axis=1) < 1.0
+        children: List[QuadTreeNode] = []
+        seq = self._node_seq
+        depth = current.depth + 1
+        inside_idx = np.nonzero(inside)[0]
+        child_lowers = child_lowers[inside_idx]
+        child_uppers = child_uppers[inside_idx]
+        for j in range(inside_idx.shape[0]):
+            child = QuadTreeNode(child_lowers[j], child_uppers[j], depth, current, seq)
+            seq += 1
+            children.append(child)
+        self._node_seq = seq
+        pending = current.partial
+        current.partial = []
+        current.children = children
+        current.children_lower = child_lowers
+        current.children_upper = child_uppers
+        self._live_leaves += len(children) - 1
+        counters = self.counters
+        if counters is not None:
+            counters.splits_performed += 1
+            counters.nodes_created += len(children)
+        if self._track_dirty:
+            # Report the split leaf as dirty so scan caches evict its
+            # (now stale) within-leaf state; the node is internal from
+            # here on and will never re-enter a cache.
+            self._dirty_leaves.add(id(current))
+        if not children:
+            return
+        if not pending:
+            for child in children:
+                self._file_leaf(child, parent_priority)
+            return
+        # Vectorised redistribution: corner extremes of every pending
+        # half-space over every child box via two matrix products each.
+        Apos_all, Aneg_all, btol_all = self._coef_sign_split()
+        pending_arr = np.asarray(pending, dtype=np.intp)
+        Apos = Apos_all[pending_arr]
+        Aneg = Aneg_all[pending_arr]
+        b_pending = btol_all[pending_arr]
+        min_vals = Apos @ child_lowers.T + Aneg @ child_uppers.T
+        max_vals = Apos @ child_uppers.T + Aneg @ child_lowers.T
+        contains = min_vals > b_pending[:, None]
+        disjoint = max_vals <= b_pending[:, None]
+        overlaps = ~(contains | disjoint)
+        contained, c_counts = self._child_major_gather(contains, pending_arr)
+        contained_ids = contained.tolist()
+        overlap, o_counts = self._child_major_gather(overlaps, pending_arr)
+        overlap_ids = overlap.tolist()
+        track = self._track_dirty
+        c_off = o_off = 0
+        for j, child in enumerate(children):
+            c_end = c_off + int(c_counts[j])
+            if c_end > c_off:
+                child.containment.extend(contained_ids[c_off:c_end])
+            c_off = c_end
+            o_end = o_off + int(o_counts[j])
+            if o_end > o_off:
+                child.partial.extend(overlap_ids[o_off:o_end])
+                if track:
+                    self._dirty_leaves.add(id(child))
+            o_off = o_end
+            if self._should_split(child):
+                overflow.append((child, parent_priority + len(child.containment)))
+            else:
+                self._file_leaf(child, parent_priority + len(child.containment))
 
     # ----------------------------------------------------------------- queries
     def leaves(self) -> Iterator[QuadTreeNode]:

@@ -641,6 +641,10 @@ class MaxRankService:
             "retained": self.cache.retained,
             "skyline_reused": self.counters.skyline_reused,
             "skyline_nodes_warm": len(self.skyline_cache),
+            "nodes_created": self.counters.nodes_created,
+            "splits_performed": self.counters.splits_performed,
+            "build_tasks": self.counters.build_tasks,
+            "build_wall_fraction": round(self.counters.build_wall_fraction, 6),
             "tree_build_seconds": round(self.tree_build_seconds, 6),
             "query_timeouts": self.query_timeouts,
             "deadline_checks": self.counters.deadline_checks,

@@ -92,6 +92,18 @@ class CostCounters:
         per-dataset :class:`~repro.skyline.bbs.SkylineCache` instead of
         being recomputed.  Zero for cold standalone queries (nothing is
         warm); a service-layer key like ``cache_hits``.
+    nodes_created / splits_performed:
+        Quad-tree construction volume: nodes materialised and split events
+        executed, charged exactly once per node/event no matter which
+        process (serial cascade, frontier expansion, or pool worker) built
+        the subtree — both are structure properties of the finished tree,
+        so they are serial/parallel-invariant and participate in the
+        differential equivalence checks.
+    build_tasks:
+        Subtree construction units dispatched through the execution engine
+        by a parallel cold build (:class:`repro.quadtree.build.SubtreeBuildTask`).
+        Zero for serial builds, and dependent on the jobs count — *not*
+        engine-invariant, like ``worker_retries``.
     worker_retries:
         Executor batches re-dispatched after a pool worker crashed
         (``BrokenProcessPool``): one per rebuild-and-retry round, not per
@@ -135,6 +147,9 @@ class CostCounters:
     leaves_pruned: int = 0
     skyline_updates: int = 0
     iterations: int = 0
+    nodes_created: int = 0
+    splits_performed: int = 0
+    build_tasks: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     skyline_reused: int = 0
@@ -182,6 +197,27 @@ class CostCounters:
         """A copy of all named timer totals, in seconds."""
         return dict(self._timers)
 
+    @property
+    def build_wall_fraction(self) -> float:
+        """Share of the tracked wall clock spent building the quad-tree.
+
+        ``time_quadtree_build / (build + skyline + within_leaf)`` — the
+        headline ratio of PERFORMANCE.md's construction section.  A derived
+        *time* quantity, so deliberately a property and **not** part of
+        :meth:`as_dict`: counter dictionaries must stay comparable across
+        serial and parallel runs, and wall-clock shares are not.  Returns
+        0.0 when nothing was timed.
+        """
+        build = self._timers.get("quadtree_build", 0.0)
+        total = (
+            build
+            + self._timers.get("skyline", 0.0)
+            + self._timers.get("within_leaf", 0.0)
+        )
+        if total <= 0.0:
+            return 0.0
+        return build / total
+
     # --------------------------------------------------------------- reports
     def as_dict(self) -> Dict[str, float]:
         """Flatten all counters and timers into a plain dictionary."""
@@ -206,6 +242,9 @@ class CostCounters:
             "leaves_pruned": self.leaves_pruned,
             "skyline_updates": self.skyline_updates,
             "iterations": self.iterations,
+            "nodes_created": self.nodes_created,
+            "splits_performed": self.splits_performed,
+            "build_tasks": self.build_tasks,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "skyline_reused": self.skyline_reused,
@@ -238,6 +277,9 @@ class CostCounters:
         self.leaves_pruned += other.leaves_pruned
         self.skyline_updates += other.skyline_updates
         self.iterations += other.iterations
+        self.nodes_created += other.nodes_created
+        self.splits_performed += other.splits_performed
+        self.build_tasks += other.build_tasks
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.skyline_reused += other.skyline_reused

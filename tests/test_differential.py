@@ -196,6 +196,43 @@ class TestPlanarVsGenericVsBruteforce3D:
         assert region_fingerprint(first) == region_fingerprint(second)
 
 
+class TestWholeSpaceAndCostPolicy3D:
+    """engine='planar-global' and split_policy='cost' over the same matrix.
+
+    Both knobs change only *where* the arrangement work happens (one
+    whole-space arrangement vs per-leaf ones; cost-driven vs static splits),
+    so ``k*``, the dominator count and the canonical cell set must match the
+    default engine and the brute-force oracle on every case — only the
+    leaf-fragment granularity of the reported regions may differ.
+    """
+
+    @pytest.mark.parametrize("dist,tau,seed", CASES_3D)
+    def test_planar_global_matches_planar_and_oracle(self, dist, tau, seed):
+        dataset, focal = make_case(dist, 3, 100 + seed)
+        planar = maxrank(dataset, focal, engine="planar", tau=tau)
+        whole = maxrank(dataset, focal, engine="planar-global", tau=tau)
+        oracle = maxrank(dataset, focal, algorithm="exact", tau=tau)
+        assert whole.algorithm == "AA-3D/global"
+        assert whole.k_star == planar.k_star == oracle.k_star
+        assert whole.dominator_count == planar.dominator_count
+        assert whole.minimum_cell_order == planar.minimum_cell_order
+        assert canonical_cells(whole) == canonical_cells(oracle)
+        assert_rank_semantics(dataset, focal, whole)
+
+    @pytest.mark.parametrize("dist,tau,seed", CASES_3D)
+    def test_cost_policy_matches_static_and_oracle(self, dist, tau, seed):
+        dataset, focal = make_case(dist, 3, 100 + seed)
+        static = maxrank(dataset, focal, engine="planar", tau=tau)
+        cost = maxrank(
+            dataset, focal, engine="planar", tau=tau, split_policy="cost"
+        )
+        oracle = maxrank(dataset, focal, algorithm="exact", tau=tau)
+        assert cost.k_star == static.k_star == oracle.k_star
+        assert cost.dominator_count == static.dominator_count
+        assert canonical_cells(cost) == canonical_cells(oracle)
+        assert_rank_semantics(dataset, focal, cost)
+
+
 class TestAa2dVsBruteforce2D:
     """The same harness pinning the d = 2 sorted-list arrangement."""
 

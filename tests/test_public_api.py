@@ -46,7 +46,7 @@ class TestPublicSurface:
     def test_engine_registry(self):
         from repro.core import ENGINES
 
-        assert set(ENGINES) == {"auto", "planar", "generic"}
+        assert set(ENGINES) == {"auto", "planar", "planar-global", "generic"}
 
 
 class TestQuickstartExample:

@@ -90,6 +90,49 @@ class TestQuadTreeStructure:
         assert stats["leaves"] >= 1
 
 
+class TestConstructionValidation:
+    """Impossible construction parameters fail fast with GeometryError."""
+
+    @pytest.mark.parametrize("threshold", [True, 2.5, "10", 1, 0, -3])
+    def test_bad_split_threshold_rejected(self, threshold):
+        with pytest.raises(GeometryError):
+            AugmentedQuadTree(2, split_threshold=threshold)
+
+    @pytest.mark.parametrize("max_depth", [True, 1.5, "2", -1])
+    def test_bad_max_depth_rejected(self, max_depth):
+        with pytest.raises(GeometryError):
+            AugmentedQuadTree(2, max_depth=max_depth)
+
+    def test_unknown_split_policy_rejected(self):
+        with pytest.raises(GeometryError):
+            AugmentedQuadTree(2, split_policy="greedy")
+
+    def test_minimum_threshold_terminates(self):
+        """split_threshold=2 is the tightest legal value: splits cascade hard
+        but must still terminate at max_depth with exact sets."""
+        tree = AugmentedQuadTree(2, split_threshold=2, max_depth=4)
+        tree.insert_bulk(random_halfspaces(25, 2, seed=6))
+        assert len(tree) == 25
+        assert tree.leaf_count() > 1
+        assert all(leaf.depth <= 4 for leaf in tree.leaves())
+
+    def test_max_depth_zero_keeps_one_fat_leaf(self):
+        """max_depth=0 is legal (the planar-global mode relies on it): the
+        root never splits and holds every overlapping half-space."""
+        halfspaces = random_halfspaces(30, 2, seed=7)
+        tree = AugmentedQuadTree(2, max_depth=0)
+        tree.insert_bulk(halfspaces)
+        assert tree.leaf_count() == 1
+        assert tree.root.is_leaf
+        covered = set(tree.root.containment) | set(tree.root.partial)
+        expected = {
+            hid for hid, h in tree.halfspaces.items()
+            if h.relation_to_box(tree.root.lower, tree.root.upper)
+            is not BoxRelation.DISJOINT
+        }
+        assert covered == expected
+
+
 class TestQuadTreeBookkeeping:
     @given(seed=st.integers(0, 60), count=st.integers(1, 18))
     @settings(max_examples=25, deadline=None)
