@@ -79,6 +79,20 @@ cache-invalidation outcome (``invalidated`` / ``retained`` / ``inserts`` /
 gates those counters *exactly*: losing retention (over-invalidation) or
 eviction (a vacuous predicate) fails CI like a lost pruning step does.
 
+A ``serve/`` workload family drives the *network* front end closed-loop:
+a real :class:`~repro.service.ThreadedLineServer` on a kernel-picked port,
+``clients`` concurrent socket clients issuing a seeded, skewed (hot-focal)
+request stream over two shards routed through the consistent-hash /
+admission stack.  Every response payload is compared against a standalone
+``maxrank()`` reference before anything is recorded, exactly-once
+computation per unique (shard, focal, tau) key is asserted, and the
+single-flight ``coalesced`` counter must be positive (the hot key is
+barrier-synchronised so all clients provably collide).  Latency p50/p99
+and qps are recorded for the trajectory; the deterministic gates are the
+work counters and the exact ``admitted`` / ``queries_computed`` totals —
+``serve/`` keys are exempt from the calibrated wall gate because a
+closed-loop latency benchmark measures scheduling, not algorithm work.
+
 The workload matrix is intentionally frozen: the ``--compare`` mode is only
 sound when both sides ran identical configurations.
 """
@@ -279,6 +293,47 @@ BUILD_CONFIGS: List[BuildBenchConfig] = [
                      max_depth=5, quick=True),
     BuildBenchConfig("build/cold/d=4/n=50000", "IND", 50000, 4, max_depth=5),
 ]
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """One frozen closed-loop network-serving workload.
+
+    Two shards (IND at dimension ``d``, IND at ``d + 1``) are served by one
+    in-process :class:`ThreadedLineServer`; ``clients`` socket clients each
+    issue ``requests_per_client`` requests.  The request *plans* are seeded
+    per client: the first request of every client is the same hot key
+    (barrier-synchronised, so single-flight provably coalesces) and each
+    later request picks the hot key with probability ``hot_share`` or a
+    uniform cold key otherwise — the skewed interactive shape the admission
+    layer exists for.  The set of unique keys is deterministic, so the
+    exactly-once totals and work counters are gateable; latency and wave
+    composition are timing and stay ungated.
+    """
+
+    key: str
+    n: int
+    d: int
+    clients: int = 8
+    requests_per_client: int = 12
+    unique: int = 6          # distinct focals per shard
+    hot_share: float = 0.5
+    tau: int = 0
+    quick: bool = False
+
+
+SERVE_CONFIGS: List[ServeBenchConfig] = [
+    ServeBenchConfig("serve/quick/mixed", 250, 3, quick=True),
+    ServeBenchConfig("serve/load/hot", 400, 3, requests_per_client=25,
+                     unique=8, hot_share=0.6, tau=1),
+]
+
+#: Totals gated *exactly* on the ``serve/`` family: the request plans are
+#: seeded, and single-flight + result cache make computation exactly-once
+#: per unique key regardless of thread scheduling, so these cannot drift
+#: without a real behavioural change.  ``coalesced``/``waves`` are timing-
+#: dependent and only sanity-checked (``coalesced >= 1``) at run time.
+SERVE_EXACT_COUNTERS = ("admitted", "queries_computed", "requests")
+
 
 #: Construction counters gated *exactly* on the ``build/`` family: the
 #: split cascade is deterministic for a frozen workload and — by the
@@ -640,6 +695,195 @@ def run_update_config(
     }
 
 
+def run_serve_config(
+    config: ServeBenchConfig,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure the network front closed-loop: sockets, router, admission.
+
+    ``clients`` threads each hold one TCP connection to an in-process
+    :class:`ThreadedLineServer` and issue their seeded request plan,
+    measuring per-request latency.  Three correctness gates run before
+    anything is recorded: every response payload must equal the standalone
+    ``maxrank()`` payload for its key, each unique key must have been
+    computed exactly once across both shards, and the admission layer must
+    have coalesced at least one duplicate (the barrier-synchronised hot
+    key guarantees a collision to coalesce).
+    """
+    import json as json_mod
+    import random
+    import socket
+    import statistics
+    import threading
+
+    from repro.service import DatasetRouter, ThreadedLineServer
+    from repro.service.cli import (  # the real CLI backend, not a test double
+        _answer_payload, _error_payload, _handle_request, _RouterBackend,
+    )
+
+    del engine  # requests use the service's auto-dispatch; flag is a no-op here
+
+    datasets = {
+        "a": generate("IND", config.n, config.d, seed=0),
+        "b": generate("IND", max(120, config.n // 2), config.d + 1, seed=1),
+    }
+    focals = {
+        shard: select_focal_records(dataset, config.unique, seed=0)
+        for shard, dataset in datasets.items()
+    }
+    keys = [
+        (shard, int(focal), config.tau)
+        for shard in sorted(datasets)
+        for focal in focals[shard]
+    ]
+    hot_key = keys[0]
+    cold_keys = keys[1:]
+
+    # Standalone references: the payload each response must equal, bit for
+    # bit (k*, region count, dominators, tau and the rounded representative).
+    references = {}
+    for shard, focal, tau in keys:
+        result = maxrank(datasets[shard], focal, tau=tau)
+        payload = _answer_payload(result, False)
+        payload.pop("cache_hit")
+        references[(shard, focal, tau)] = payload
+
+    # Seeded skewed plans: first request hot everywhere, then hot_share.
+    plans = []
+    for client in range(config.clients):
+        rng = random.Random(1000 + client)
+        plan = [hot_key]
+        for _ in range(config.requests_per_client - 1):
+            if rng.random() < config.hot_share:
+                plan.append(hot_key)
+            else:
+                plan.append(cold_keys[rng.randrange(len(cold_keys))])
+        plans.append(plan)
+
+    shards = {name: MaxRankService(dataset) for name, dataset in datasets.items()}
+    router = DatasetRouter(shards, slots=2, wave_window_s=0.02, jobs=jobs)
+    backend = _RouterBackend(router, None)
+
+    def handler(line: str):
+        payload, quit_ = _handle_request(backend, json_mod.loads(line))
+        return (None if payload is None else json_mod.dumps(payload)), quit_
+
+    server = ThreadedLineServer(
+        "127.0.0.1", 0, handler,
+        on_error=lambda exc: json_mod.dumps({"error": _error_payload(exc)}),
+    )
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+
+    latencies: List[float] = []
+    latency_lock = threading.Lock()
+    failures: List[str] = []
+    barrier = threading.Barrier(config.clients + 1)
+
+    def client_loop(plan) -> None:
+        sock = socket.create_connection(server.address, timeout=60)
+        stream = sock.makefile("rwb")
+        try:
+            barrier.wait()
+            local = []
+            for shard, focal, tau in plan:
+                request = {"dataset": shard, "focal": focal, "tau": tau}
+                sent = time.perf_counter()
+                stream.write((json_mod.dumps(request) + "\n").encode())
+                stream.flush()
+                answer = json_mod.loads(stream.readline())
+                local.append(time.perf_counter() - sent)
+                answer.pop("cache_hit", None)
+                if answer != references[(shard, focal, tau)]:
+                    failures.append(
+                        f"{config.key}: payload for {shard}/{focal} differs "
+                        f"from standalone maxrank()"
+                    )
+                    return
+            with latency_lock:
+                latencies.extend(local)
+        finally:
+            sock.close()
+
+    workers = [
+        threading.Thread(target=client_loop, args=(plan,)) for plan in plans
+    ]
+    try:
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - start
+        stats = router.stats()
+        counters: Dict[str, float] = {}
+        for service in shards.values():
+            for name, value in service.counters.as_dict().items():
+                counters[name] = counters.get(name, 0.0) + value
+    finally:
+        server.shutdown()
+        server_thread.join(timeout=30)
+        router.close()
+
+    if failures:
+        raise AssertionError(failures[0])
+    total_requests = config.clients * config.requests_per_client
+    admitted = sum(slot["admitted"] for slot in stats["slots"].values())
+    coalesced = sum(slot["coalesced"] for slot in stats["slots"].values())
+    waves = sum(slot["waves"] for slot in stats["slots"].values())
+    computed = sum(
+        svc["queries_computed"] for svc in stats["services"].values()
+    )
+    if computed != len(keys):
+        raise AssertionError(
+            f"{config.key}: expected exactly-once computation of {len(keys)} "
+            f"unique keys, measured {computed}"
+        )
+    if coalesced < 1:
+        raise AssertionError(
+            f"{config.key}: single-flight coalesced nothing despite the "
+            f"barrier-synchronised hot key"
+        )
+
+    ordered = sorted(latencies)
+    p50 = statistics.median(ordered)
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    funnel = screen_funnel(counters)
+    return {
+        "wall_s": round(wall, 4),
+        "cpu_s": round(p50, 5),
+        "io": 0.0,
+        "clients": config.clients,
+        "requests": total_requests,
+        "unique": len(keys),
+        "p50_ms": round(p50 * 1000, 3),
+        "p99_ms": round(p99 * 1000, 3),
+        "qps": round(total_requests / wall, 1) if wall > 0 else 0.0,
+        "admitted": admitted,
+        "coalesced": coalesced,
+        "waves": waves,
+        "queries_computed": computed,
+        "cache_hits": int(counters.get("cache_hits", 0)),
+        "k_stars": [references[key]["k_star"] for key in keys],
+        "region_counts": [references[key]["regions"] for key in keys],
+        "lp_calls": int(counters.get("lp_calls", 0)),
+        "cells_examined": int(counters.get("cells_examined", 0)),
+        "candidates_generated": int(counters.get("candidates_generated", 0)),
+        "prefixes_cut": int(counters.get("prefixes_cut", 0)),
+        "pairwise_pruned": int(counters.get("pairwise_pruned", 0)),
+        "screen_accepts": int(counters.get("screen_accepts", 0)),
+        "screen_rejects": int(counters.get("screen_rejects", 0)),
+        "lines_inserted": int(counters.get("lines_inserted", 0)),
+        "faces_enumerated": int(counters.get("faces_enumerated", 0)),
+        "worker_retries": int(counters.get("worker_retries", 0)),
+        "degraded_batches": int(counters.get("degraded_batches", 0)),
+        "deadline_checks": int(counters.get("deadline_checks", 0)),
+        "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
+    }
+
+
 def run_matrix(
     quick: bool,
     jobs: Optional[int] = None,
@@ -650,7 +894,8 @@ def run_matrix(
 
     ``family="build"`` restricts the run to the ``build/`` configurations
     (the construction-focused subset CI smokes with ``--jobs 2``);
-    ``"all"`` runs everything.
+    ``family="serve"`` to the closed-loop network-serving configurations
+    (the CI serve smoke); ``"all"`` runs everything.
     """
     results: Dict[str, Dict[str, object]] = {}
     if family == "all":
@@ -663,13 +908,22 @@ def run_matrix(
                 continue
             print(f"running {config.key} ...", flush=True)
             results[config.key] = run_config(config, jobs=jobs, engine=engine)
-    for build_config in BUILD_CONFIGS:
-        if quick and not build_config.quick:
-            continue
-        print(f"running {build_config.key} (construction) ...", flush=True)
-        results[build_config.key] = run_build_config(
-            build_config, jobs=jobs, engine=engine
-        )
+    if family in ("all", "build"):
+        for build_config in BUILD_CONFIGS:
+            if quick and not build_config.quick:
+                continue
+            print(f"running {build_config.key} (construction) ...", flush=True)
+            results[build_config.key] = run_build_config(
+                build_config, jobs=jobs, engine=engine
+            )
+    if family in ("all", "serve"):
+        for serve_config in SERVE_CONFIGS:
+            if quick and not serve_config.quick:
+                continue
+            print(f"running {serve_config.key} (closed-loop load) ...", flush=True)
+            results[serve_config.key] = run_serve_config(
+                serve_config, jobs=jobs, engine=engine
+            )
     if family != "all":
         return results
     for service_config in SERVICE_CONFIGS:
@@ -759,6 +1013,18 @@ def compare(
                         f"{key}: {counter} changed {base_value} -> {value} "
                         f"(scoped mutation invalidation drifted)"
                     )
+        if key.startswith("serve/"):
+            # Exactly-once totals of the serving front: the request plans
+            # are seeded and single-flight + cache make computation
+            # exactly-once per unique key, so any drift is behavioural.
+            for counter in SERVE_EXACT_COUNTERS:
+                base_value = int(base.get(counter, -1))
+                value = int(entry.get(counter, -1))
+                if value != base_value:
+                    failures.append(
+                        f"{key}: {counter} changed {base_value} -> {value} "
+                        f"(admission/serving behaviour drifted)"
+                    )
         if key.startswith("build/"):
             # Construction gates: the split cascade is deterministic and
             # serial/parallel-invariant, so these must match exactly — a
@@ -782,6 +1048,8 @@ def compare(
                 )
         if (
             wall_gate
+            and not key.startswith("serve/")  # closed-loop latency is
+            # scheduling, not algorithm work; p50/p99/qps are trajectory only
             and base_calibration > 0
             and current_calibration > 0
             and float(base["wall_s"]) >= WALL_FLOOR_S
@@ -825,10 +1093,16 @@ def print_report(results: Dict[str, Dict[str, object]]) -> None:
             row["nodes"] = entry["nodes_created"]
             row["splits"] = entry["splits_performed"]
             row["tasks"] = entry["build_tasks"]
+        if key.startswith("serve/"):
+            row["hits"] = entry["cache_hits"]
+            row["qps"] = entry["qps"]
+            row["p50ms"] = entry["p50_ms"]
+            row["p99ms"] = entry["p99_ms"]
+            row["coal"] = entry["coalesced"]
         rows.append(row)
     columns = ["config", "wall_s", "k*", "|T|", "lp", "generated", "cut",
                "screened%", "warm_x", "hits", "inv", "ret",
-               "nodes", "splits", "tasks"]
+               "nodes", "splits", "tasks", "qps", "p50ms", "p99ms", "coal"]
     print()
     print(format_table(rows, columns, title="MaxRank benchmark matrix"))
 
@@ -886,10 +1160,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: auto-dispatch, i.e. planar at d=3). "
                              "Results are bit-identical; ANTI d=3 configs are "
                              "skipped under 'generic' (infeasible)")
-    parser.add_argument("--family", choices=("all", "build"), default="all",
+    parser.add_argument("--family", choices=("all", "build", "serve"),
+                        default="all",
                         help="restrict the matrix to one workload family "
-                             "('build' = the construction-focused configs; "
-                             "used by the CI build smoke with --jobs 2)")
+                             "('build' = the construction-focused configs, "
+                             "'serve' = the closed-loop network-serving "
+                             "configs; both used by CI smokes)")
     args = parser.parse_args(argv)
     if args.update and args.jobs and args.jobs > 1:
         parser.error("--update records the serial baseline; drop --jobs")

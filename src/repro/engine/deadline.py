@@ -1,10 +1,15 @@
 """Per-query wall-clock budgets for cooperative cancellation.
 
-A :class:`Deadline` is an *absolute* expiry instant on the shared wall
-clock (``time.time()``), not a relative duration: the object pickles into
+A :class:`Deadline` is an *absolute* expiry instant on the monotonic clock
+(``time.monotonic()``), not a relative duration: the object pickles into
 :class:`~repro.engine.tasks.LeafTask` / service query tasks and stays
-meaningful inside fork-based pool workers, because parent and children read
-the same clock.  Cancellation is cooperative — the scan scheduler
+meaningful inside fork-based pool workers, because ``CLOCK_MONOTONIC`` is a
+system-wide clock — parent and forked children on the same host read the
+same time base.  The monotonic clock is immune to NTP steps and manual
+wall-clock changes; a deadline built on ``time.time()`` would expire (or
+extend) every in-flight query the moment the wall clock jumped, which is
+exactly the failure a concurrent serving front cannot afford.  Cancellation
+is cooperative — the scan scheduler
 (:func:`repro.core.cells.collect_cells`), the AA iteration loop and the
 within-leaf funnel call :meth:`Deadline.check` at their checkpoints, and an
 expired deadline raises :class:`~repro.errors.QueryTimeoutError` carrying
@@ -26,15 +31,18 @@ __all__ = ["Deadline"]
 
 @dataclass(frozen=True)
 class Deadline:
-    """An absolute wall-clock expiry for one query (picklable, immutable).
+    """An absolute monotonic-clock expiry for one query (picklable, immutable).
 
     Attributes
     ----------
     expires_at:
-        ``time.time()`` instant after which the query must stop.
+        ``time.monotonic()`` instant after which the query must stop.  The
+        instant is only meaningful on the host that created it (monotonic
+        clocks have an arbitrary epoch), which is fine: deadlines cross
+        process boundaries exclusively through ``fork``, never the network.
     budget_seconds:
         The originally requested budget — carried only so timeout messages
-        can say "exceeded its 0.5s budget" instead of an opaque epoch.
+        can say "exceeded its 0.5s budget" instead of an opaque instant.
     """
 
     expires_at: float
@@ -48,15 +56,15 @@ class Deadline:
             raise AlgorithmError(
                 f"timeout must be a positive number of seconds, got {seconds!r}"
             )
-        return cls(expires_at=time.time() + seconds, budget_seconds=seconds)
+        return cls(expires_at=time.monotonic() + seconds, budget_seconds=seconds)
 
     def remaining(self) -> float:
         """Seconds left (negative once expired)."""
-        return self.expires_at - time.time()
+        return self.expires_at - time.monotonic()
 
     def expired(self) -> bool:
         """Whether the budget is spent."""
-        return time.time() >= self.expires_at
+        return time.monotonic() >= self.expires_at
 
     def check(
         self, counters: Optional[CostCounters] = None, where: str = ""
@@ -71,7 +79,7 @@ class Deadline:
         """
         if counters is not None:
             counters.deadline_checks += 1
-        if time.time() >= self.expires_at:
+        if time.monotonic() >= self.expires_at:
             budget = (
                 f"its {self.budget_seconds:g}s budget"
                 if self.budget_seconds is not None

@@ -24,9 +24,12 @@ representative points and engine-invariant counters.  A thin CLI
 (``python -m repro.service build | query | serve``) drives it end-to-end.
 """
 
+from .admission import AdmissionController
 from .batch import QueryTask
 from .cache import QueryCache, derive_lower_tau, query_key
 from .core import MaxRankService, result_fingerprint
+from .router import ConsistentHashRing, DatasetRouter
+from .transport import ThreadedLineServer
 
 __all__ = [
     "MaxRankService",
@@ -35,4 +38,8 @@ __all__ = [
     "query_key",
     "derive_lower_tau",
     "result_fingerprint",
+    "AdmissionController",
+    "ConsistentHashRing",
+    "DatasetRouter",
+    "ThreadedLineServer",
 ]

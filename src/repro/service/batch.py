@@ -94,8 +94,9 @@ class QueryTask:
         as a sorted tuple of pairs — hashable and picklable.
     deadline:
         Optional wall-clock budget shared by the whole batch.  Deadlines
-        carry an *absolute* expiry time, so the pickled copy a forked
-        worker receives expires at the same instant as the service's.
+        carry an *absolute* monotonic-clock expiry, so the pickled copy a
+        forked worker receives expires at the same instant as the
+        service's (``CLOCK_MONOTONIC`` is system-wide on one host).
     """
 
     token: int

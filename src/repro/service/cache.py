@@ -49,10 +49,21 @@ data region that could affect it and skip the rest).  Three cases:
 Answers without a provenance scope (``materialised_ids is None`` — BA, FCA,
 the oracles, tau-monotone derivations) take the full-flush fallback: any
 mutation evicts them.
+
+Thread safety
+-------------
+Every public entry point — lookups, insertions, the mutation-invalidation
+sweeps and the length/containment probes — serialises on one internal
+:class:`threading.RLock`, so the LRU order, the bounded size and the
+hit/miss/eviction tallies stay exact under concurrent callers (an unlocked
+``OrderedDict`` corrupts under racing ``move_to_end``/``popitem``).  The
+lock is held only for dict bookkeeping, never while computing a result, so
+it is invisible to single-threaded users.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -226,6 +237,9 @@ class QueryCache:
         if maxsize < 0:
             raise AlgorithmError(f"cache maxsize must be >= 0, got {maxsize}")
         self.maxsize = int(maxsize)
+        #: Reentrant so ``get`` may call ``put`` (tau-monotone derivation)
+        #: without self-deadlocking.
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -236,10 +250,12 @@ class QueryCache:
         self.retained = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: CacheKey, *, tau_monotone: bool = False) -> Optional[MaxRankResult]:
         """Look up a result; ``None`` on a miss.
@@ -249,48 +265,51 @@ class QueryCache:
         requested answer from it (see :func:`derive_lower_tau`); the derived
         answer is also inserted so subsequent identical queries hit exactly.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
-        if tau_monotone:
-            focal_id, tau, algorithm, engine, options = key
-            best: Optional[CacheKey] = None
-            for candidate in self._entries:
-                if (
-                    candidate[0] == focal_id
-                    and candidate[2] == algorithm
-                    and candidate[3] == engine
-                    and candidate[4] == options
-                    and candidate[1] > tau
-                    and (best is None or candidate[1] < best[1])
-                ):
-                    best = candidate
-            if best is not None:
-                derived = derive_lower_tau(self._entries[best], tau)
-                self._entries.move_to_end(best)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
                 self.hits += 1
-                self.monotone_hits += 1
-                self.put(key, derived)
-                return derived
-        self.misses += 1
-        return None
+                return entry
+            if tau_monotone:
+                focal_id, tau, algorithm, engine, options = key
+                best: Optional[CacheKey] = None
+                for candidate in self._entries:
+                    if (
+                        candidate[0] == focal_id
+                        and candidate[2] == algorithm
+                        and candidate[3] == engine
+                        and candidate[4] == options
+                        and candidate[1] > tau
+                        and (best is None or candidate[1] < best[1])
+                    ):
+                        best = candidate
+                if best is not None:
+                    derived = derive_lower_tau(self._entries[best], tau)
+                    self._entries.move_to_end(best)
+                    self.hits += 1
+                    self.monotone_hits += 1
+                    self.put(key, derived)
+                    return derived
+            self.misses += 1
+            return None
 
     def put(self, key: CacheKey, result: MaxRankResult) -> None:
         """Insert (or refresh) a result, evicting the LRU entry when full."""
         if self.maxsize == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = result
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every cached result (hit/miss statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------- mutation invalidation
     def invalidate_for_insert(
@@ -304,17 +323,18 @@ class QueryCache:
         both counters.
         """
         point = np.asarray(point, dtype=float).ravel()
-        survivors: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
-        dropped = 0
-        for key, result in self._entries.items():
-            if _mutation_leaves_result_intact(records_before, result, point):
-                survivors[key] = result
-            else:
-                dropped += 1
-        self._entries = survivors
-        self.invalidated += dropped
-        self.retained += len(survivors)
-        return dropped, len(survivors)
+        with self._lock:
+            survivors: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
+            dropped = 0
+            for key, result in self._entries.items():
+                if _mutation_leaves_result_intact(records_before, result, point):
+                    survivors[key] = result
+                else:
+                    dropped += 1
+            self._entries = survivors
+            self.invalidated += dropped
+            self.retained += len(survivors)
+            return dropped, len(survivors)
 
     def invalidate_for_delete(
         self, records_before: np.ndarray, removed_id: int, point: np.ndarray
@@ -330,22 +350,23 @@ class QueryCache:
         """
         point = np.asarray(point, dtype=float).ravel()
         removed_id = int(removed_id)
-        survivors: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
-        dropped = 0
-        for key, result in self._entries.items():
-            identity = key[0]
-            if identity[0] == "idx" and identity[1] == removed_id:
-                dropped += 1  # the focal record itself is gone
-                continue
-            if not _mutation_leaves_result_intact(
-                records_before, result, point, exclude_index=removed_id
-            ):
-                dropped += 1
-                continue
-            if identity[0] == "idx" and identity[1] > removed_id:
-                key = (("idx", identity[1] - 1),) + key[1:]
-            survivors[key] = _shift_ids_after_delete(result, removed_id)
-        self._entries = survivors
-        self.invalidated += dropped
-        self.retained += len(survivors)
-        return dropped, len(survivors)
+        with self._lock:
+            survivors: "OrderedDict[CacheKey, MaxRankResult]" = OrderedDict()
+            dropped = 0
+            for key, result in self._entries.items():
+                identity = key[0]
+                if identity[0] == "idx" and identity[1] == removed_id:
+                    dropped += 1  # the focal record itself is gone
+                    continue
+                if not _mutation_leaves_result_intact(
+                    records_before, result, point, exclude_index=removed_id
+                ):
+                    dropped += 1
+                    continue
+                if identity[0] == "idx" and identity[1] > removed_id:
+                    key = (("idx", identity[1] - 1),) + key[1:]
+                survivors[key] = _shift_ids_after_delete(result, removed_id)
+            self._entries = survivors
+            self.invalidated += dropped
+            self.retained += len(survivors)
+            return dropped, len(survivors)

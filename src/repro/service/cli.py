@@ -42,6 +42,16 @@ Three subcommands drive the service end-to-end (``python -m repro.service``):
         printf '{"focal": 5}\n{"focal": 5}\n' | \
             python -m repro.service serve --snapshot idx.rprs
 
+    With ``--listen HOST:PORT`` the same protocol is served over TCP to
+    many concurrent clients: requests route through a consistent-hash
+    sharded front (``--shard NAME=PATH``, repeatable; requests address a
+    shard with ``{"dataset": "name", ...}``) and an admission layer that
+    coalesces duplicate in-flight queries (single-flight) and batches
+    distinct concurrent ones into ``query_batch`` waves::
+
+        python -m repro.service serve --listen 127.0.0.1:7117 \
+            --shard nba=nba.rprs --shard hotel=hotel.rprs
+
 Failure contract (see ``docs/ARCHITECTURE.md``, *Failure model*): every
 command exits non-zero with a one-line ``error: {"code": ..., "message":
 ...}`` diagnostic on stderr — exit code 3 for a query that exceeded its
@@ -61,6 +71,7 @@ import os
 import selectors
 import signal
 import sys
+import threading
 import time
 from typing import List, Optional
 
@@ -238,6 +249,140 @@ def _delete(args: argparse.Namespace) -> int:
     return 0
 
 
+def _answer_payload(result, cache_hit: bool) -> dict:
+    """The JSON answer of one query (shared by stdin and TCP serving)."""
+    return {
+        "k_star": result.k_star,
+        "regions": result.region_count,
+        "dominators": result.dominator_count,
+        "tau": result.tau,
+        "cache_hit": bool(cache_hit),
+        "representative": [
+            round(float(w), 9)
+            for w in result.regions[0].representative_query()
+        ]
+        if result.regions
+        else None,
+    }
+
+
+def _parse_focal(request: dict):
+    focal = request["focal"]
+    if isinstance(focal, list):
+        focal = np.asarray(focal, dtype=float)
+    return focal
+
+
+class _ServiceBackend:
+    """Serve-protocol backend over one :class:`MaxRankService` (stdin mode)."""
+
+    def __init__(self, service: MaxRankService, default_timeout: Optional[float]):
+        self.service = service
+        self.default_timeout = default_timeout
+        self.served = 0
+
+    def query(self, request: dict) -> dict:
+        hits_before = self.service.cache.hits
+        result = self.service.query(
+            _parse_focal(request),
+            tau=int(request.get("tau", 0)),
+            timeout=request.get("timeout", self.default_timeout),
+        )
+        self.served += 1
+        return _answer_payload(result, self.service.cache.hits > hits_before)
+
+    def insert(self, request: dict) -> dict:
+        new_id = self.service.insert(np.asarray(request["record"], dtype=float))
+        return _mutation_summary(self.service, "inserted", {"record_id": new_id})
+
+    def delete(self, request: dict) -> dict:
+        record_id = request["record_id"]
+        self.service.delete(record_id)
+        return _mutation_summary(
+            self.service, "deleted", {"record_id": int(record_id)}
+        )
+
+    def stats(self, request: dict) -> dict:
+        return self.service.stats()
+
+
+class _RouterBackend:
+    """Serve-protocol backend over a :class:`DatasetRouter` (network mode).
+
+    Identical request schema plus an optional ``"dataset"`` field naming
+    the shard; it may be omitted when the router serves exactly one.
+    """
+
+    def __init__(self, router, default_timeout: Optional[float]):
+        self.router = router
+        self.default_timeout = default_timeout
+        self.served = 0
+        self._served_lock = threading.Lock()
+
+    def _dataset(self, request: dict) -> str:
+        dataset = request.get("dataset")
+        if dataset is not None:
+            return str(dataset)
+        ids = self.router.dataset_ids
+        if len(ids) == 1:
+            return ids[0]
+        raise ValueError(
+            "request must name a dataset "
+            f"(\"dataset\": ...); this server has: {', '.join(ids)}"
+        )
+
+    def query(self, request: dict) -> dict:
+        result, cache_hit = self.router.query(
+            self._dataset(request),
+            _parse_focal(request),
+            tau=int(request.get("tau", 0)),
+            timeout=request.get("timeout", self.default_timeout),
+        )
+        with self._served_lock:
+            self.served += 1
+        return _answer_payload(result, cache_hit)
+
+    def insert(self, request: dict) -> dict:
+        dataset = self._dataset(request)
+        new_id = self.router.insert(
+            dataset, np.asarray(request["record"], dtype=float)
+        )
+        return _mutation_summary(
+            self.router.service(dataset), "inserted",
+            {"dataset": dataset, "record_id": new_id},
+        )
+
+    def delete(self, request: dict) -> dict:
+        dataset = self._dataset(request)
+        record_id = request["record_id"]
+        self.router.delete(dataset, record_id)
+        return _mutation_summary(
+            self.router.service(dataset), "deleted",
+            {"dataset": dataset, "record_id": int(record_id)},
+        )
+
+    def stats(self, request: dict) -> dict:
+        return self.router.stats()
+
+
+def _handle_request(backend, request) -> tuple:
+    """Dispatch one parsed request; returns ``(payload or None, quit)``."""
+    if not isinstance(request, dict):
+        raise ValueError(
+            "request must be a JSON object, e.g. {\"focal\": 5}"
+        )
+    cmd = request.get("cmd")
+    if cmd == "stats":
+        return backend.stats(request), False
+    if cmd == "quit":
+        return None, True
+    if cmd == "insert":
+        return backend.insert(request), False
+    if cmd == "delete":
+        return backend.delete(request), False
+    return backend.query(request), False
+
+
 def _request_lines(should_stop):
     """Yield stdin lines, polling so a drain signal is honoured promptly.
 
@@ -278,7 +423,7 @@ def _request_lines(should_stop):
         sel.close()
 
 
-def _serve(args: argparse.Namespace) -> int:
+def _serve_stdin(args: argparse.Namespace) -> int:
     draining = {"flag": False, "signal": None}
 
     def _drain(signum, frame):
@@ -292,11 +437,11 @@ def _serve(args: argparse.Namespace) -> int:
         except (ValueError, OSError):  # not the main thread / unsupported
             pass
 
-    served = 0
     try:
         with MaxRankService.from_snapshot(
             args.snapshot, cache_size=args.cache_size
         ) as service:
+            backend = _ServiceBackend(service, args.timeout)
             meta = {
                 "ready": True,
                 "dataset": service.dataset.name,
@@ -311,54 +456,10 @@ def _serve(args: argparse.Namespace) -> int:
                 # Request isolation: any failure answers a structured error
                 # on the request's own line and the loop keeps serving.
                 try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ValueError(
-                            "request must be a JSON object, e.g. {\"focal\": 5}"
-                        )
-                    if request.get("cmd") == "stats":
-                        print(json.dumps(service.stats()), flush=True)
-                        continue
-                    if request.get("cmd") == "quit":
+                    payload, quit_ = _handle_request(backend, json.loads(line))
+                    if quit_:
                         break
-                    if request.get("cmd") == "insert":
-                        new_id = service.insert(
-                            np.asarray(request["record"], dtype=float)
-                        )
-                        print(json.dumps(_mutation_summary(
-                            service, "inserted", {"record_id": new_id}
-                        )), flush=True)
-                        continue
-                    if request.get("cmd") == "delete":
-                        record_id = request["record_id"]
-                        service.delete(record_id)
-                        print(json.dumps(_mutation_summary(
-                            service, "deleted", {"record_id": int(record_id)}
-                        )), flush=True)
-                        continue
-                    focal = request["focal"]
-                    if isinstance(focal, list):
-                        focal = np.asarray(focal, dtype=float)
-                    timeout = request.get("timeout", args.timeout)
-                    hits_before = service.cache.hits
-                    result = service.query(
-                        focal, tau=int(request.get("tau", 0)), timeout=timeout
-                    )
-                    served += 1
-                    answer = {
-                        "k_star": result.k_star,
-                        "regions": result.region_count,
-                        "dominators": result.dominator_count,
-                        "tau": result.tau,
-                        "cache_hit": service.cache.hits > hits_before,
-                        "representative": [
-                            round(float(w), 9)
-                            for w in result.regions[0].representative_query()
-                        ]
-                        if result.regions
-                        else None,
-                    }
-                    print(json.dumps(answer), flush=True)
+                    print(json.dumps(payload), flush=True)
                 except (ReproError, KeyError, ValueError, TypeError) as exc:
                     print(
                         json.dumps({"error": _error_payload(exc)}), flush=True
@@ -366,13 +467,118 @@ def _serve(args: argparse.Namespace) -> int:
             shutdown = {
                 "shutdown": True,
                 "reason": draining["signal"] or "eof",
-                "queries_answered": served,
+                "queries_answered": backend.served,
             }
             print(json.dumps(shutdown), flush=True)
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     return 0
+
+
+def _parse_shards(args: argparse.Namespace) -> dict:
+    """Build the ``dataset id -> snapshot path`` table from the CLI flags."""
+    from pathlib import Path
+
+    shards = {}
+    if args.snapshot:
+        shards[Path(args.snapshot).stem] = args.snapshot
+    for spec in args.shard or ():
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise AlgorithmError(
+                f"invalid --shard {spec!r}; expected NAME=SNAPSHOT_PATH"
+            )
+        if name in shards:
+            raise AlgorithmError(f"duplicate shard name {name!r}")
+        shards[name] = path
+    if not shards:
+        raise AlgorithmError("serve --listen needs --snapshot or --shard")
+    return shards
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """The network front: transport -> router -> admission -> services."""
+    from .router import DatasetRouter
+    from .transport import ThreadedLineServer, parse_hostport
+
+    host, port = parse_hostport(args.listen)
+    shards = _parse_shards(args)
+    with DatasetRouter(
+        shards,
+        slots=args.slots,
+        wave_size=args.wave_size,
+        wave_window_s=args.wave_window,
+        jobs=args.jobs,
+        service_options={"cache_size": args.cache_size},
+    ) as router:
+        backend = _RouterBackend(router, args.timeout)
+
+        def handler(line: str):
+            payload, quit_ = _handle_request(backend, json.loads(line))
+            return (None if payload is None else json.dumps(payload)), quit_
+
+        def greeting() -> str:
+            return json.dumps({
+                "ready": True,
+                "datasets": list(router.dataset_ids),
+                "slots": args.slots,
+            })
+
+        def farewell(reason: str):
+            return json.dumps({
+                "shutdown": True,
+                "reason": reason,
+                "queries_answered": backend.served,
+            })
+
+        def on_error(exc: BaseException) -> str:
+            return json.dumps({"error": _error_payload(exc)})
+
+        server = ThreadedLineServer(
+            host, port, handler,
+            greeting=greeting, farewell=farewell, on_error=on_error,
+        )
+
+        def _drain(signum, frame):
+            server.shutdown(signal.Signals(signum).name)
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _drain)
+            except (ValueError, OSError):  # not the main thread / unsupported
+                pass
+        try:
+            # The bound address on stdout lets a parent process (tests, the
+            # CI smoke) learn the kernel-picked port when --listen used :0.
+            print(json.dumps({
+                "listening": list(server.address),
+                "datasets": list(router.dataset_ids),
+            }), flush=True)
+            server.serve_forever()
+        finally:
+            for signum, handler_ in previous.items():
+                signal.signal(signum, handler_)
+        print(json.dumps({
+            "shutdown": True,
+            "reason": server.drain_reason,
+            "connections": server.connections_accepted,
+            "requests": server.requests_handled,
+            "queries_answered": backend.served,
+        }), flush=True)
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    if args.listen:
+        return _serve_listen(args)
+    if args.shard:
+        raise AlgorithmError("--shard requires --listen (stdin mode serves "
+                            "exactly the --snapshot dataset)")
+    if not args.snapshot:
+        raise AlgorithmError("serve needs --snapshot (or --listen with --shard)")
+    return _serve_stdin(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -437,12 +643,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="output snapshot path (default: overwrite --snapshot)")
     delete.set_defaults(handler=_delete)
 
-    serve = commands.add_parser("serve", help="serve JSON queries from stdin")
-    serve.add_argument("--snapshot", required=True)
+    serve = commands.add_parser(
+        "serve", help="serve JSON queries from stdin or over TCP (--listen)"
+    )
+    serve.add_argument("--snapshot", default=None,
+                       help="snapshot to serve (stdin mode: required; with "
+                            "--listen it becomes a shard named after the file)")
     serve.add_argument("--cache-size", type=int, default=256)
     serve.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="default per-request wall-clock budget in seconds "
                             "(a request's own \"timeout\" field overrides it)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve newline-delimited JSON over TCP instead of "
+                            "stdin (port 0 = kernel-picked, reported on stdout)")
+    serve.add_argument("--shard", action="append", metavar="NAME=PATH",
+                       help="add a dataset shard served from PATH under the id "
+                            "NAME (repeatable; requires --listen); requests "
+                            "pick a shard with their \"dataset\" field")
+    serve.add_argument("--slots", type=int, default=2,
+                       help="admission slots on the consistent-hash ring "
+                            "(default 2)")
+    serve.add_argument("--wave-size", type=int, default=16,
+                       help="max distinct queries batched per admission wave "
+                            "(default 16)")
+    serve.add_argument("--wave-window", type=float, default=0.002, metavar="S",
+                       help="how long a wave leader holds the wave open for "
+                            "concurrent arrivals (default 0.002s)")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="whole-query process parallelism per wave")
     serve.set_defaults(handler=_serve)
 
     args = parser.parse_args(argv)

@@ -39,7 +39,9 @@ zero in standalone runs.  The one deliberate exception is the opt-in
 from __future__ import annotations
 
 import logging
+import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -91,6 +93,72 @@ def result_fingerprint(result: MaxRankResult):
     )
 
 
+class _ReadWriteGate:
+    """Many concurrent readers (queries) or one exclusive writer (mutation).
+
+    The serving front answers queries from multiple transport threads, but a
+    mutation swaps the dataset, maintains the R*-tree in place and sweeps
+    the caches — none of which may interleave with an in-flight query.  The
+    gate gives queries shared access and mutations exclusive access.  Read
+    acquisition is reentrant per thread (``query_batch`` calls ``query`` on
+    its serial path), tracked in a thread-local depth counter.  Writers are
+    preferred: a waiting writer blocks *new* top-level readers, so a tight
+    query loop cannot starve a mutation by keeping the reader count forever
+    nonzero (cache hits are fast enough that overlapping readers otherwise
+    never drain).  Nested re-entry by a thread already holding a read lease
+    never blocks — blocking it behind the waiting writer would deadlock,
+    since the writer is waiting for that very lease to release.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    @contextmanager
+    def read(self):
+        depth = getattr(self._local, "depth", 0)
+        if depth == 0:
+            with self._cond:
+                while self._writer_active or self._writers_waiting:
+                    self._cond.wait()
+                self._readers += 1
+        self._local.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._local.depth -= 1
+            if self._local.depth == 0:
+                with self._cond:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        if getattr(self._local, "depth", 0):
+            raise AlgorithmError(
+                "cannot mutate the service from inside one of its own queries"
+            )
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+                self._cond.notify_all()  # readers held back by the wait
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
 class MaxRankService:
     """A long-lived MaxRank query service over one dataset.
 
@@ -117,6 +185,18 @@ class MaxRankService:
 
     Use as a context manager (or call :meth:`close`) to release the batch
     process pools and the shared-state registration.
+
+    Thread-safety contract
+    ----------------------
+    The service is safe to share across threads.  Queries take *shared*
+    access (any number run concurrently; the caches and the aggregate
+    counters serialise on an internal mutex, so ``stats()`` totals stay
+    exact) while :meth:`insert` / :meth:`delete` take *exclusive* access —
+    a mutation waits for in-flight queries to drain and blocks new ones
+    until the dataset swap, tree maintenance and cache sweeps are complete.
+    The mutex is never held while a result is computed, so concurrent
+    distinct queries genuinely overlap; coalescing concurrent *duplicate*
+    queries is the admission layer's job (:mod:`repro.service.admission`).
     """
 
     def __init__(
@@ -163,6 +243,10 @@ class MaxRankService:
         self._token = register_state(dataset, self.tree, self.skyline_cache)
         self._executors: Dict[int, LeafTaskExecutor] = {}
         self._closed = False
+        #: Serialises counter/cache bookkeeping (never held during compute).
+        self._mutex = threading.RLock()
+        #: Queries shared / mutations exclusive (see the class docstring).
+        self._gate = _ReadWriteGate()
 
     # ------------------------------------------------------------ lifecycle
     @classmethod
@@ -227,13 +311,15 @@ class MaxRankService:
 
     def close(self) -> None:
         """Release process pools and the shared-state registration (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        unregister_state(self._token)
-        for executor in self._executors.values():
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            unregister_state(self._token)
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
             executor.close()
-        self._executors.clear()
 
     def __enter__(self) -> "MaxRankService":
         return self
@@ -350,28 +436,33 @@ class MaxRankService:
         self._validate_request(focal, tau, algorithm, engine)
         deadline = self._coerce_deadline(timeout)
         key = self._key(focal, tau, algorithm, engine, options)
-        self.queries_served += 1
-        if use_cache:
-            cached = self.cache.get(
-                key, tau_monotone=self.tau_policy == "monotone"
-            )
-            if cached is not None:
-                self.counters.cache_hits += 1
-                return cached
-        try:
-            result = self._compute(
-                focal, tau, algorithm, engine, options, jobs=jobs, deadline=deadline
-            )
-        except QueryTimeoutError as exc:
-            self.query_timeouts += 1
-            if exc.counters is not None:
-                self.counters += exc.counters
-            raise
-        self.queries_computed += 1
-        self.counters += result.counters
-        if use_cache:
-            self.cache.put(key, result)
-        return result
+        with self._gate.read():
+            with self._mutex:
+                self.queries_served += 1
+                if use_cache:
+                    cached = self.cache.get(
+                        key, tau_monotone=self.tau_policy == "monotone"
+                    )
+                    if cached is not None:
+                        self.counters.cache_hits += 1
+                        return cached
+            try:
+                result = self._compute(
+                    focal, tau, algorithm, engine, options,
+                    jobs=jobs, deadline=deadline,
+                )
+            except QueryTimeoutError as exc:
+                with self._mutex:
+                    self.query_timeouts += 1
+                    if exc.counters is not None:
+                        self.counters += exc.counters
+                raise
+            with self._mutex:
+                self.queries_computed += 1
+                self.counters += result.counters
+                if use_cache:
+                    self.cache.put(key, result)
+            return result
 
     def query_batch(
         self,
@@ -411,98 +502,114 @@ class MaxRankService:
         for focal in focals:
             self._validate_request(focal, tau, algorithm, engine)
         deadline = self._coerce_deadline(timeout)
-        self.batches_served += 1
+        with self._gate.read():
+            with self._mutex:
+                self.batches_served += 1
 
-        if jobs is None or jobs <= 1:
-            # Same dedup semantics as the parallel path: occurrences beyond
-            # the first of a key are served from the batch-local map.
-            local: Dict[object, MaxRankResult] = {}
-            ordered: List[MaxRankResult] = []
-            for focal in focals:
-                key = self._key(focal, tau, algorithm, engine, options)
-                if key in local:
-                    self.queries_served += 1
-                    if use_cache:
-                        self.counters.cache_hits += 1
-                    ordered.append(local[key])
-                    continue
-                result = self.query(
-                    focal,
-                    tau=tau,
-                    algorithm=algorithm,
-                    engine=engine,
-                    use_cache=use_cache,
-                    timeout=deadline,
-                    **options,
-                )
-                local[key] = result
-                ordered.append(result)
-            return ordered
-
-        # Whole-query parallelism: dedupe, serve hits, schedule the misses.
-        keys = [self._key(focal, tau, algorithm, engine, options) for focal in focals]
-        results: Dict[object, MaxRankResult] = {}
-        pending: List[Focal] = []
-        pending_keys: List[object] = []
-        for focal, key in zip(focals, keys):
-            if key in results or key in pending_keys:
-                continue
-            cached = (
-                self.cache.get(key, tau_monotone=self.tau_policy == "monotone")
-                if use_cache
-                else None
-            )
-            if cached is not None:
-                self.counters.cache_hits += 1
-                results[key] = cached
-            else:
-                pending.append(focal)
-                pending_keys.append(key)
-
-        if pending:
-            frozen_options = tuple(sorted(options.items()))
-            tasks = [
-                self._make_task(
-                    focal, tau, algorithm, engine, frozen_options, deadline
-                )
-                for focal in pending
-            ]
-            executor = self._executors.get(jobs)
-            if executor is None:
-                executor = make_executor(jobs)
-                self._executors[jobs] = executor
-            try:
-                task_results = executor.run(tasks)
-            except QueryTimeoutError as exc:
-                self.query_timeouts += 1
-                if exc.counters is not None:
-                    self.counters += exc.counters
-                raise
-            finally:
-                # Attribute crash-recovery events of this batch (worker
-                # retries, serial degradation) to the service aggregates,
-                # whether the batch finished or timed out.
-                for name, value in executor.drain_events().items():
-                    setattr(
-                        self.counters,
-                        name,
-                        getattr(self.counters, name) + value,
+            if jobs is None or jobs <= 1:
+                # Same dedup semantics as the parallel path: occurrences
+                # beyond the first of a key are served from the batch-local
+                # map.
+                local: Dict[object, MaxRankResult] = {}
+                ordered: List[MaxRankResult] = []
+                for focal in focals:
+                    key = self._key(focal, tau, algorithm, engine, options)
+                    if key in local:
+                        with self._mutex:
+                            self.queries_served += 1
+                            if use_cache:
+                                self.counters.cache_hits += 1
+                        ordered.append(local[key])
+                        continue
+                    result = self.query(
+                        focal,
+                        tau=tau,
+                        algorithm=algorithm,
+                        engine=engine,
+                        use_cache=use_cache,
+                        timeout=deadline,
+                        **options,
                     )
-            for key, result in zip(pending_keys, task_results):
-                self.queries_computed += 1
-                self.counters += result.counters
-                if use_cache:
-                    self.cache.put(key, result)
-                results[key] = result
+                    local[key] = result
+                    ordered.append(result)
+                return ordered
 
-        self.queries_served += len(keys)
-        # Occurrences beyond the first of each key are served from the
-        # batch-local result map; with caching on, the aggregate counters
-        # report that amortisation as cache hits (matching the serial
-        # path).  With use_cache=False nothing is attributed to the cache.
-        if use_cache:
-            self.counters.cache_hits += len(keys) - len(results)
-        return [results[key] for key in keys]
+            # Whole-query parallelism: dedupe, serve hits, schedule misses.
+            keys = [
+                self._key(focal, tau, algorithm, engine, options)
+                for focal in focals
+            ]
+            results: Dict[object, MaxRankResult] = {}
+            pending: List[Focal] = []
+            pending_keys: List[object] = []
+            with self._mutex:
+                for focal, key in zip(focals, keys):
+                    if key in results or key in pending_keys:
+                        continue
+                    cached = (
+                        self.cache.get(
+                            key, tau_monotone=self.tau_policy == "monotone"
+                        )
+                        if use_cache
+                        else None
+                    )
+                    if cached is not None:
+                        self.counters.cache_hits += 1
+                        results[key] = cached
+                    else:
+                        pending.append(focal)
+                        pending_keys.append(key)
+
+            if pending:
+                frozen_options = tuple(sorted(options.items()))
+                tasks = [
+                    self._make_task(
+                        focal, tau, algorithm, engine, frozen_options, deadline
+                    )
+                    for focal in pending
+                ]
+                with self._mutex:
+                    executor = self._executors.get(jobs)
+                    if executor is None:
+                        executor = make_executor(jobs)
+                        self._executors[jobs] = executor
+                try:
+                    task_results = executor.run(tasks)
+                except QueryTimeoutError as exc:
+                    with self._mutex:
+                        self.query_timeouts += 1
+                        if exc.counters is not None:
+                            self.counters += exc.counters
+                    raise
+                finally:
+                    # Attribute crash-recovery events of this batch (worker
+                    # retries, serial degradation) to the service
+                    # aggregates, whether the batch finished or timed out.
+                    with self._mutex:
+                        for name, value in executor.drain_events().items():
+                            setattr(
+                                self.counters,
+                                name,
+                                getattr(self.counters, name) + value,
+                            )
+                with self._mutex:
+                    for key, result in zip(pending_keys, task_results):
+                        self.queries_computed += 1
+                        self.counters += result.counters
+                        if use_cache:
+                            self.cache.put(key, result)
+                        results[key] = result
+
+            with self._mutex:
+                self.queries_served += len(keys)
+                # Occurrences beyond the first of each key are served from
+                # the batch-local result map; with caching on, the aggregate
+                # counters report that amortisation as cache hits (matching
+                # the serial path).  With use_cache=False nothing is
+                # attributed to the cache.
+                if use_cache:
+                    self.counters.cache_hits += len(keys) - len(results)
+            return [results[key] for key in keys]
 
     def _make_task(
         self,
@@ -579,14 +686,17 @@ class MaxRankService:
             )
         if not np.all(np.isfinite(point)):
             raise AlgorithmError("record attributes must be finite numbers")
-        records_before = self.dataset.records
-        self.cache.invalidate_for_insert(records_before, point)
-        new_id = self.dataset.n
-        self.tree.insert(point, new_id)
-        self.skyline_cache.invalidate_pages(self.tree.drain_dirty_pages())
-        self._replace_dataset(np.vstack([records_before, point[np.newaxis, :]]))
-        self.inserts += 1
-        return new_id
+        with self._gate.write():
+            records_before = self.dataset.records
+            self.cache.invalidate_for_insert(records_before, point)
+            new_id = self.dataset.n
+            self.tree.insert(point, new_id)
+            self.skyline_cache.invalidate_pages(self.tree.drain_dirty_pages())
+            self._replace_dataset(
+                np.vstack([records_before, point[np.newaxis, :]])
+            )
+            self.inserts += 1
+            return new_id
 
     def delete(self, record_id: int) -> np.ndarray:
         """Delete record ``record_id``; returns the removed point.
@@ -604,25 +714,34 @@ class MaxRankService:
         if isinstance(record_id, bool) or not isinstance(record_id, (int, np.integer)):
             raise AlgorithmError(f"record_id must be an integer, got {record_id!r}")
         record_id = int(record_id)
-        if not 0 <= record_id < self.dataset.n:
-            raise AlgorithmError(
-                f"record_id {record_id} out of range [0, {self.dataset.n})"
-            )
-        if self.dataset.n <= 1:
-            raise AlgorithmError("cannot delete the last record of a dataset")
-        records_before = self.dataset.records
-        point = records_before[record_id].copy()
-        self.cache.invalidate_for_delete(records_before, record_id, point)
-        self.tree.delete(point, record_id)
-        self.tree.renumber_after_delete(record_id)
-        self.skyline_cache.invalidate_pages(self.tree.drain_dirty_pages())
-        self._replace_dataset(np.delete(records_before, record_id, axis=0))
-        self.deletes += 1
-        return point
+        with self._gate.write():
+            if not 0 <= record_id < self.dataset.n:
+                raise AlgorithmError(
+                    f"record_id {record_id} out of range [0, {self.dataset.n})"
+                )
+            if self.dataset.n <= 1:
+                raise AlgorithmError("cannot delete the last record of a dataset")
+            records_before = self.dataset.records
+            point = records_before[record_id].copy()
+            self.cache.invalidate_for_delete(records_before, record_id, point)
+            self.tree.delete(point, record_id)
+            self.tree.renumber_after_delete(record_id)
+            self.skyline_cache.invalidate_pages(self.tree.drain_dirty_pages())
+            self._replace_dataset(np.delete(records_before, record_id, axis=0))
+            self.deletes += 1
+            return point
 
     # ---------------------------------------------------------------- stats
     def stats(self) -> Dict[str, object]:
-        """Service-level statistics (cache behaviour, amortisation, sizes)."""
+        """Service-level statistics (cache behaviour, amortisation, sizes).
+
+        Taken under the bookkeeping mutex, so the snapshot is consistent
+        even while other threads are mid-query.
+        """
+        with self._mutex:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "n": self.dataset.n,

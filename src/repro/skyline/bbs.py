@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
@@ -94,22 +95,33 @@ class SkylineCache:
     query, so a warm query's results and engine-invariant counters match a
     cold run exactly.  Each expansion served from the cache increments the
     consuming query's ``skyline_reused`` counter.
+
+    The key store is guarded by a lock, so concurrent queries of a threaded
+    serving front may share one cache: two threads warming the same node
+    race benignly (both compute the same keys; one write wins) and a
+    mutation's :meth:`invalidate_pages` can never observe a half-updated
+    map.  The lock is never held while keys are *computed*, only around the
+    dict probe/store, so the warm path stays contention-free.
     """
 
     def __init__(self, tree: RStarTree) -> None:
         self.tree = tree
+        self._lock = threading.Lock()
         self._child_keys: Dict[int, List[float]] = {}
 
     def __len__(self) -> int:
-        return len(self._child_keys)
+        with self._lock:
+            return len(self._child_keys)
 
     def child_keys(self, node: RStarNode) -> Tuple[List[float], bool]:
         """Keys of ``node``'s children, plus whether they came from the cache."""
-        keys = self._child_keys.get(node.page_id)
+        with self._lock:
+            keys = self._child_keys.get(node.page_id)
         if keys is not None:
             return keys, True
         keys = [_entry_key(child) for child in node.entries]
-        self._child_keys[node.page_id] = keys
+        with self._lock:
+            self._child_keys[node.page_id] = keys
         return keys, False
 
     def invalidate_pages(self, page_ids) -> int:
@@ -123,9 +135,10 @@ class SkylineCache:
         describes an unchanged node.
         """
         dropped = 0
-        for page_id in page_ids:
-            if self._child_keys.pop(page_id, None) is not None:
-                dropped += 1
+        with self._lock:
+            for page_id in page_ids:
+                if self._child_keys.pop(page_id, None) is not None:
+                    dropped += 1
         return dropped
 
 

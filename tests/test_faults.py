@@ -75,14 +75,14 @@ class TestDeadline:
         deadline = Deadline.after(60.0)
         assert not deadline.expired()
         assert 0 < deadline.remaining() <= 60.0
-        past = Deadline(expires_at=time.time() - 1.0, budget_seconds=0.001)
+        past = Deadline(expires_at=time.monotonic() - 1.0, budget_seconds=0.001)
         assert past.expired() and past.remaining() < 0
 
     def test_check_counts_and_raises(self):
         counters = CostCounters()
         Deadline.after(60.0).check(counters, "somewhere")
         assert counters.deadline_checks == 1
-        past = Deadline(expires_at=time.time() - 1.0, budget_seconds=0.25)
+        past = Deadline(expires_at=time.monotonic() - 1.0, budget_seconds=0.25)
         with pytest.raises(QueryTimeoutError) as excinfo:
             past.check(counters, "the_checkpoint")
         assert counters.deadline_checks == 2
@@ -123,7 +123,7 @@ class TestDeadlineExpiry:
     )
     def test_expired_budget_raises_at_entry(self, dist, n, d, algorithm):
         dataset = generate(dist, n, d, seed=3)
-        expired = Deadline(expires_at=time.time() - 1.0, budget_seconds=1e-9)
+        expired = Deadline(expires_at=time.monotonic() - 1.0, budget_seconds=1e-9)
         started = time.perf_counter()
         with pytest.raises(QueryTimeoutError) as excinfo:
             maxrank(dataset, 5, algorithm=algorithm, deadline=expired)

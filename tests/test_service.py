@@ -407,6 +407,70 @@ class TestServiceCli:
         assert run.returncode == 2
         assert "error:" in run.stderr
 
+    def test_serve_processes_unterminated_final_line(self, snapshot):
+        """A valid final request whose newline never arrives (client closed
+        mid-write) is still answered, never silently dropped."""
+        lines = '{"focal": 5}\n{"focal": 5}'  # no trailing newline
+        run = self._run("serve", "--snapshot", str(snapshot), stdin=lines)
+        assert run.returncode == 0, run.stderr
+        out = [json.loads(line) for line in run.stdout.splitlines()]
+        assert out[1]["cache_hit"] is False
+        assert out[2]["cache_hit"] is True       # the unterminated one
+        assert out[2]["k_star"] == out[1]["k_star"]
+        assert out[3]["shutdown"] is True
+        assert out[3]["queries_answered"] == 2
+
+    def test_serve_truncated_final_json_is_bad_request(self, snapshot):
+        """An *invalid* unterminated tail (truncated mid-JSON) answers a
+        structured bad_request error before the clean shutdown line."""
+        lines = '{"focal": 5}\n{"focal"'
+        run = self._run("serve", "--snapshot", str(snapshot), stdin=lines)
+        assert run.returncode == 0, run.stderr
+        out = [json.loads(line) for line in run.stdout.splitlines()]
+        assert "k_star" in out[1]
+        assert out[2]["error"]["code"] == "bad_request"
+        assert out[3]["shutdown"] is True and out[3]["reason"] == "eof"
+
+    def test_serve_listen_single_shard_and_sigterm(self, snapshot):
+        """TCP mode subprocess smoke: kernel-picked port, a query without a
+        "dataset" field (single shard is unambiguous), graceful SIGTERM."""
+        import signal
+        import socket
+
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--listen", "127.0.0.1:0", "--snapshot", str(snapshot)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+        )
+        try:
+            meta = json.loads(proc.stdout.readline())
+            host, port = meta["listening"]
+            assert meta["datasets"] == [snapshot.stem]
+            with socket.create_connection((host, port), timeout=30) as sock:
+                f = sock.makefile("rwb")
+                ready = json.loads(f.readline())
+                assert ready["ready"] is True
+                f.write(b'{"focal": 5}\n')
+                f.flush()
+                answer = json.loads(f.readline())
+                assert answer["k_star"] >= 1
+                proc.send_signal(signal.SIGTERM)
+                farewell = json.loads(f.readline())
+                assert farewell["shutdown"] is True
+                assert farewell["reason"] == "SIGTERM"
+            out, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err
+            assert json.loads(out.splitlines()[-1])["reason"] == "SIGTERM"
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.communicate()
+
 
 class TestScopedInvalidation:
     """Mutations evict exactly the cached answers they can affect."""
