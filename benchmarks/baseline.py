@@ -93,6 +93,18 @@ work counters and the exact ``admitted`` / ``queries_computed`` totals —
 ``serve/`` keys are exempt from the calibrated wall gate because a
 closed-loop latency benchmark measures scheduling, not algorithm work.
 
+An ``obs/`` workload family gates the observability stack: the same seeded
+queries answered untraced and fully traced (a live :class:`repro.obs.Tracer`
+riding the engine's counter hooks, producing a complete span tree per
+query).  Tracing that changes an answer or a counter is a bug, not a cost,
+so both gates are *exact* — every result fingerprint and every non-time
+counter must be bit-identical between the two passes — and the recorded
+``wall_s`` is the untraced side, so the calibrated wall gate watches the
+disabled-path overhead (one ``is None`` check per instrumented site) that
+every other configuration also carries.  ``overhead_ratio`` records the
+traced/untraced wall ratio for the trajectory; ``--family obs`` restricts a
+run to this family (the CI obs smoke).
+
 The workload matrix is intentionally frozen: the ``--compare`` mode is only
 sound when both sides ran identical configurations.
 """
@@ -333,6 +345,27 @@ SERVE_CONFIGS: List[ServeBenchConfig] = [
 #: without a real behavioural change.  ``coalesced``/``waves`` are timing-
 #: dependent and only sanity-checked (``coalesced >= 1``) at run time.
 SERVE_EXACT_COUNTERS = ("admitted", "queries_computed", "requests")
+
+
+@dataclass(frozen=True)
+class ObsBenchConfig:
+    """One frozen tracing-overhead workload: the same queries answered
+    untraced and traced (full span tree), back to back, ``reps`` times
+    each with the minimum wall kept per side."""
+
+    key: str
+    distribution: str
+    n: int
+    d: int
+    queries: int = 2
+    tau: int = 1
+    reps: int = 3
+    quick: bool = True
+
+
+OBS_CONFIGS: List[ObsBenchConfig] = [
+    ObsBenchConfig("obs/overhead/d=3", "IND", 400, 3),
+]
 
 
 #: Construction counters gated *exactly* on the ``build/`` family: the
@@ -695,6 +728,121 @@ def run_update_config(
     }
 
 
+def run_obs_config(
+    config: ObsBenchConfig,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, object]:
+    """Measure tracing overhead: the same queries untraced vs fully traced.
+
+    Two hard gates run before anything is recorded (tracing that buys
+    observability with a changed answer is a bug, not a cost):
+
+    * every result fingerprint must be bit-identical between the traced
+      and the untraced pass, and
+    * every non-time counter must match *exactly* — not within the 15 %
+      work-counter tolerance; only the wall-clock ratio is a measurement.
+
+    The recorded ``wall_s`` is the *untraced* side, so the standard
+    calibrated wall gate also watches the disabled-path cost (the single
+    ``is None`` check per instrumented site) riding in every other
+    configuration.  Both passes run serial: ``--jobs`` batches trace
+    through a different span shape (``query_task``), which the smoke and
+    differential tests cover; this workload isolates the tracer cost.
+    """
+    from repro.obs import Tracer
+
+    del jobs  # see docstring: both passes deliberately serial
+
+    dataset = generate(config.distribution, config.n, config.d, seed=0)
+    tree = RStarTree.build(dataset.records)
+    focals = [int(f) for f in select_focal_records(dataset, config.queries, seed=0)]
+    options: Dict[str, object] = {}
+    if config.d == 3:
+        options["engine"] = engine or "auto"
+
+    def one_pass(traced: bool):
+        best = float("inf")
+        fingerprints: List[object] = []
+        k_stars: List[int] = []
+        region_counts: List[int] = []
+        dump: Dict[str, float] = {}
+        spans = 0
+        for _ in range(config.reps):
+            fingerprints, k_stars, region_counts = [], [], []
+            dump, spans = {}, 0
+            start = time.perf_counter()
+            for focal in focals:
+                counters = CostCounters()
+                tracer = handle = None
+                if traced:
+                    tracer = Tracer()
+                    counters._tracer = tracer
+                    handle = tracer.begin("request")
+                result = maxrank(dataset, focal, tau=config.tau, tree=tree,
+                                 counters=counters, **options)
+                if tracer is not None:
+                    tracer.finish(handle)
+                    counters._tracer = None
+                    tracer.absorb(counters.drain_spans())
+                    spans += len(tracer.records())
+                fingerprints.append(result_fingerprint(result))
+                k_stars.append(result.k_star)
+                region_counts.append(result.region_count)
+                for name, value in counters.as_dict().items():
+                    if not name.startswith("time_"):
+                        dump[name] = dump.get(name, 0.0) + value
+            best = min(best, time.perf_counter() - start)
+        return best, fingerprints, k_stars, region_counts, dump, spans
+
+    plain_wall, plain_fps, k_stars, region_counts, plain_dump, _ = one_pass(False)
+    traced_wall, traced_fps, _, _, traced_dump, spans = one_pass(True)
+
+    if traced_fps != plain_fps:
+        raise AssertionError(
+            f"{config.key}: tracing changed a result fingerprint"
+        )
+    if traced_dump != plain_dump:
+        drifted = sorted(
+            name for name in set(traced_dump) | set(plain_dump)
+            if traced_dump.get(name) != plain_dump.get(name)
+        )
+        raise AssertionError(
+            f"{config.key}: tracing changed counters: {drifted}"
+        )
+    if spans == 0:
+        raise AssertionError(f"{config.key}: traced pass recorded no spans")
+
+    funnel = screen_funnel(plain_dump)
+    return {
+        "wall_s": round(plain_wall, 4),
+        "traced_wall_s": round(traced_wall, 4),
+        "overhead_ratio": round(traced_wall / plain_wall, 3) if plain_wall else 0.0,
+        "spans": int(spans),
+        "cpu_s": round(plain_wall / len(focals), 4),
+        "io": float(plain_dump.get("page_reads", 0)),
+        "k_stars": k_stars,
+        "region_counts": region_counts,
+        "lp_calls": int(plain_dump.get("lp_calls", 0)),
+        "cells_examined": int(plain_dump.get("cells_examined", 0)),
+        "candidates_generated": int(plain_dump.get("candidates_generated", 0)),
+        "prefixes_cut": int(plain_dump.get("prefixes_cut", 0)),
+        "pairwise_pruned": int(plain_dump.get("pairwise_pruned", 0)),
+        "screen_accepts": int(plain_dump.get("screen_accepts", 0)),
+        "screen_rejects": int(plain_dump.get("screen_rejects", 0)),
+        "lines_inserted": int(plain_dump.get("lines_inserted", 0)),
+        "faces_enumerated": int(plain_dump.get("faces_enumerated", 0)),
+        "worker_retries": int(plain_dump.get("worker_retries", 0)),
+        "degraded_batches": int(plain_dump.get("degraded_batches", 0)),
+        "deadline_checks": int(plain_dump.get("deadline_checks", 0)),
+        "screen_resolved_ratio": round(funnel["screen_resolved_ratio"], 4),
+        "halfspaces_inserted": int(plain_dump.get("halfspaces_inserted", 0)),
+        "nodes_created": int(plain_dump.get("nodes_created", 0)),
+        "splits_performed": int(plain_dump.get("splits_performed", 0)),
+        "build_tasks": int(plain_dump.get("build_tasks", 0)),
+    }
+
+
 def run_serve_config(
     config: ServeBenchConfig,
     jobs: Optional[int] = None,
@@ -717,6 +865,7 @@ def run_serve_config(
     import statistics
     import threading
 
+    from repro.obs.snapshot import serving_snapshot
     from repro.service import DatasetRouter, ThreadedLineServer
     from repro.service.cli import (  # the real CLI backend, not a test double
         _answer_payload, _error_payload, _handle_request, _RouterBackend,
@@ -817,7 +966,10 @@ def run_serve_config(
         for worker in workers:
             worker.join()
         wall = time.perf_counter() - start
-        stats = router.stats()
+        # One source of truth for the serving tallies: the same
+        # consolidated snapshot the ``{"cmd": "metrics"}`` verb and the
+        # Prometheus collector read, instead of re-summing router.stats().
+        snapshot = serving_snapshot(router)
         counters: Dict[str, float] = {}
         for service in shards.values():
             for name, value in service.counters.as_dict().items():
@@ -830,12 +982,10 @@ def run_serve_config(
     if failures:
         raise AssertionError(failures[0])
     total_requests = config.clients * config.requests_per_client
-    admitted = sum(slot["admitted"] for slot in stats["slots"].values())
-    coalesced = sum(slot["coalesced"] for slot in stats["slots"].values())
-    waves = sum(slot["waves"] for slot in stats["slots"].values())
-    computed = sum(
-        svc["queries_computed"] for svc in stats["services"].values()
-    )
+    admitted = int(snapshot["admitted"])
+    coalesced = int(snapshot["coalesced"])
+    waves = int(snapshot["waves"])
+    computed = int(snapshot["queries_computed"])
     if computed != len(keys):
         raise AssertionError(
             f"{config.key}: expected exactly-once computation of {len(keys)} "
@@ -895,7 +1045,8 @@ def run_matrix(
     ``family="build"`` restricts the run to the ``build/`` configurations
     (the construction-focused subset CI smokes with ``--jobs 2``);
     ``family="serve"`` to the closed-loop network-serving configurations
-    (the CI serve smoke); ``"all"`` runs everything.
+    (the CI serve smoke); ``family="obs"`` to the tracing-overhead
+    configurations (the CI obs smoke); ``"all"`` runs everything.
     """
     results: Dict[str, Dict[str, object]] = {}
     if family == "all":
@@ -923,6 +1074,14 @@ def run_matrix(
             print(f"running {serve_config.key} (closed-loop load) ...", flush=True)
             results[serve_config.key] = run_serve_config(
                 serve_config, jobs=jobs, engine=engine
+            )
+    if family in ("all", "obs"):
+        for obs_config in OBS_CONFIGS:
+            if quick and not obs_config.quick:
+                continue
+            print(f"running {obs_config.key} (tracing overhead) ...", flush=True)
+            results[obs_config.key] = run_obs_config(
+                obs_config, jobs=jobs, engine=engine
             )
     if family != "all":
         return results
@@ -1160,12 +1319,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: auto-dispatch, i.e. planar at d=3). "
                              "Results are bit-identical; ANTI d=3 configs are "
                              "skipped under 'generic' (infeasible)")
-    parser.add_argument("--family", choices=("all", "build", "serve"),
+    parser.add_argument("--family", choices=("all", "build", "serve", "obs"),
                         default="all",
                         help="restrict the matrix to one workload family "
                              "('build' = the construction-focused configs, "
                              "'serve' = the closed-loop network-serving "
-                             "configs; both used by CI smokes)")
+                             "configs, 'obs' = the tracing-overhead "
+                             "configs; all used by CI smokes)")
     args = parser.parse_args(argv)
     if args.update and args.jobs and args.jobs > 1:
         parser.error("--update records the serial baseline; drop --jobs")

@@ -184,7 +184,7 @@ class _LeafScanState:
             self.weight_cells[weight] = self.processor.cells_at_weight(weight)
         return self.weight_cells[weight]
 
-    def make_task(self, leaf_key: int, weight: int) -> LeafTask:
+    def make_task(self, leaf_key: int, weight: int, trace=None) -> LeafTask:
         """Snapshot the mirror into a self-contained task for ``weight``."""
         probes = self.seed_probes + tuple(self.witnesses)
         seed_state = self.seed_state
@@ -214,6 +214,7 @@ class _LeafScanState:
             use_planar=self.use_planar,
             planar=self.planar,
             deadline=self.deadline,
+            trace=trace,
         )
 
     def absorb(self, result: LeafTaskResult) -> None:
@@ -313,6 +314,8 @@ def collect_cells(
         counters.  ``None`` (the default) disables every checkpoint.
     """
     inline = executor is None or executor.inline
+    # Tracing piggybacks on the counters object; off (None) costs one check.
+    tracer = counters._tracer if counters is not None else None
     # Harvest witness and reuse-state seeds from cache entries the tree
     # reports as dirty.
     dirty = tree.consume_dirty_leaves()
@@ -384,59 +387,75 @@ def collect_cells(
                 touched += 1
             resolved.append((leaf, state, weight))
 
-        if not inline:
-            # Materialise every unresolved (leaf, weight) probe of this
-            # priority level as a self-contained task; the batch runs on the
-            # executor and the results merge back in task order.
-            pending = [
-                (index, state.make_task(id(leaf), weight))
-                for index, (leaf, state, weight) in enumerate(resolved)
-                if weight <= state.partial_len and weight not in state.weight_cells
-            ]
-            if pending:
-                results = executor.run([task for _, task in pending])
-                if len(results) != len(pending):
-                    raise RuntimeError(
-                        f"executor returned {len(results)} results "
-                        f"for {len(pending)} tasks"
-                    )
-                for (index, task), result in zip(pending, results):
-                    if result.leaf_key != task.leaf_key or result.weight != task.weight:
+        # One span per non-empty priority level; leaf-task spans (worker or
+        # inline) parent under it through the task's TraceContext.
+        level_handle = None
+        if tracer is not None and resolved:
+            level_handle = tracer.begin("collect_level")
+        try:
+            if not inline:
+                # Materialise every unresolved (leaf, weight) probe of this
+                # priority level as a self-contained task; the batch runs on
+                # the executor and the results merge back in task order.
+                task_trace = (
+                    tracer.context() if level_handle is not None else None
+                )
+                pending = [
+                    (index, state.make_task(id(leaf), weight, trace=task_trace))
+                    for index, (leaf, state, weight) in enumerate(resolved)
+                    if weight <= state.partial_len
+                    and weight not in state.weight_cells
+                ]
+                if pending:
+                    results = executor.run([task for _, task in pending])
+                    if len(results) != len(pending):
                         raise RuntimeError(
-                            "executor returned results out of task order"
+                            f"executor returned {len(results)} results "
+                            f"for {len(pending)} tasks"
                         )
-                    resolved[index][1].absorb(result)
-                    if counters is not None and result.counters is not None:
-                        counters.merge(result.counters)
-                if counters is not None:
-                    # Fold the executor's robustness events (worker retries,
-                    # serial degradations) into this query's cost report.
-                    for name, value in executor.drain_events().items():
-                        setattr(counters, name, getattr(counters, name) + value)
+                    for (index, task), result in zip(pending, results):
+                        if result.leaf_key != task.leaf_key or result.weight != task.weight:
+                            raise RuntimeError(
+                                "executor returned results out of task order"
+                            )
+                        resolved[index][1].absorb(result)
+                        if counters is not None and result.counters is not None:
+                            counters.merge(result.counters)
+                    if counters is not None:
+                        # Fold the executor's robustness events (worker
+                        # retries, serial degradations) into this query's
+                        # cost report.
+                        for name, value in executor.drain_events().items():
+                            setattr(counters, name, getattr(counters, name) + value)
 
-        for leaf, state, weight in resolved:
-            if weight > state.partial_len:
-                continue
-            if inline:
-                cells = state.cells_at_inline(weight)
-            else:
-                cells = state.weight_cells[weight]
-            if cells:
-                if best is None:
-                    best = priority
-                frozen_full = frozenset(leaf.full_ids())
-                for cell in cells:
-                    collected.append(
-                        CellRecord(
-                            leaf=leaf,
-                            cell=cell,
-                            order=priority,
-                            containing_ids=frozen_full | frozenset(cell.inside_ids),
-                            full_ids=frozen_full,
+            for leaf, state, weight in resolved:
+                if weight > state.partial_len:
+                    continue
+                if inline:
+                    cells = state.cells_at_inline(weight)
+                else:
+                    cells = state.weight_cells[weight]
+                if cells:
+                    if best is None:
+                        best = priority
+                    frozen_full = frozenset(leaf.full_ids())
+                    for cell in cells:
+                        collected.append(
+                            CellRecord(
+                                leaf=leaf,
+                                cell=cell,
+                                order=priority,
+                                containing_ids=frozen_full | frozenset(cell.inside_ids),
+                                full_ids=frozen_full,
+                            )
                         )
-                    )
-            if weight < state.partial_len:
-                deferred.setdefault(priority + 1, []).append((leaf, state, weight + 1))
+                if weight < state.partial_len:
+                    deferred.setdefault(priority + 1, []).append((leaf, state, weight + 1))
+        finally:
+            if level_handle is not None:
+                tracer.finish(
+                    level_handle, priority=priority, leaves=len(resolved)
+                )
         priority += 1
 
     if counters is not None:

@@ -35,6 +35,7 @@ order-independent).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -42,6 +43,7 @@ import numpy as np
 
 from ..geometry.halfspace import Halfspace
 from ..geometry.planar import PlanarArrangement
+from ..obs.trace import TraceContext, worker_span
 from ..quadtree.withinleaf import (
     LeafCell,
     LeafReuseState,
@@ -106,6 +108,14 @@ class LeafTask:
         checks it cooperatively inside the funnel and raises
         :class:`~repro.errors.QueryTimeoutError`, which executors propagate
         across the process boundary.
+    trace:
+        Optional :class:`~repro.obs.trace.TraceContext`.  When set, the
+        task times itself and records one span into its counters (worker
+        local or the scheduler's) with an id derived from the task's own
+        ``(seq, weight)`` identity — so spans merged back from any
+        schedule sort into the same canonical tree.  ``None`` (the
+        default, whenever tracing is off) costs a single ``is None``
+        check.
     """
 
     leaf_key: int
@@ -122,6 +132,7 @@ class LeafTask:
     use_planar: bool = False
     planar: Optional[PlanarArrangement] = None
     deadline: Optional[Deadline] = None
+    trace: Optional[TraceContext] = None
 
 
 @dataclass
@@ -176,6 +187,7 @@ def execute_leaf_task(
     merge.
     """
     own = CostCounters() if counters is None else counters
+    span_start = time.perf_counter() if task.trace is not None else 0.0
     if task.deadline is not None:
         # Entry checkpoint: a task that sat in a pool queue (or was stalled
         # by fault injection) past its budget dies before any funnel work.
@@ -195,6 +207,17 @@ def execute_leaf_task(
         deadline=task.deadline,
     )
     cells = processor.cells_at_weight(task.weight)
+    if task.trace is not None:
+        # The span id derives from task identity, not completion order, so
+        # merging worker results in any schedule yields the same tree.
+        own.record_span(worker_span(
+            task.trace,
+            f"L{task.seq}w{task.weight}",
+            "leaf_task",
+            span_start,
+            time.perf_counter(),
+            meta={"leaf_seq": task.seq, "weight": task.weight},
+        ))
     return LeafTaskResult(
         leaf_key=task.leaf_key,
         weight=task.weight,

@@ -1,0 +1,41 @@
+"""Observability: span tracing, metrics registry, structured logging.
+
+The package is deliberately dependency-free and safe to import from any
+layer.  Three pillars:
+
+``repro.obs.trace``
+    ``Tracer``/``SpanRecord`` — monotonic-clock span trees with
+    deterministic hierarchical ids, picklable records that ride home
+    from forked workers inside ``CostCounters`` deltas.
+
+``repro.obs.metrics``
+    ``MetricsRegistry`` — named counters, gauges and fixed-bucket
+    histograms with exact, order-independent merges and a Prometheus
+    text exposition.
+
+``repro.obs.log``
+    Structured JSON-lines logging, quiet by default for library use.
+
+Tracing is disabled by passing ``tracer=None`` (the default everywhere);
+the instrumented hot paths guard on a single attribute check, so the
+disabled path costs one ``is None`` test per site.
+"""
+
+from .log import configure as configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .snapshot import serving_snapshot
+from .trace import SpanRecord, TraceContext, Tracer, maybe_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "maybe_span",
+    "serving_snapshot",
+]

@@ -1,0 +1,106 @@
+"""Structured logging for the repo: JSON lines, quiet by default.
+
+Library code obtains loggers through ``get_logger`` and never
+configures handlers — the ``repro`` root carries a ``NullHandler`` so
+importing the package emits nothing.  Entry points (``python -m
+repro.service``) opt in with ``configure(level=..., fmt=...)``, mapped
+from the ``--log-level`` / ``--log-format`` CLI flags.
+
+The JSON formatter emits one object per line with a stable field order
+(``ts``, ``level``, ``logger``, ``message``) followed by any extra
+fields passed via ``logger.info(..., extra={...})`` — which is how the
+slow-query log attaches a full span dump to a single line.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+ROOT_NAME = "repro"
+
+# logging.LogRecord attributes that are bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record; extras become top-level fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr, sort_keys=False)
+
+
+class TextLineFormatter(logging.Formatter):
+    """Human-oriented single-line format for ``--log-format text``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        base = (f"{stamp} {record.levelname.lower():<7} "
+                f"{record.name}: {record.getMessage()}")
+        extras = {
+            key: value
+            for key, value in record.__dict__.items()
+            if key not in _RESERVED and not key.startswith("_")
+        }
+        if extras:
+            rendered = " ".join(f"{k}={json.dumps(v, default=repr)}"
+                                for k, v in sorted(extras.items()))
+            base = f"{base} {rendered}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (quiet until configured)."""
+    if name != ROOT_NAME and not name.startswith(ROOT_NAME + "."):
+        name = f"{ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+_root = logging.getLogger(ROOT_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+_configured_handler: Optional[logging.Handler] = None
+
+
+def configure(level: str = "info", fmt: str = "json",
+              stream: Optional[IO[str]] = None) -> logging.Handler:
+    """Attach one stream handler to the ``repro`` root (idempotent).
+
+    ``level`` is a standard logging level name; ``fmt`` is ``"json"``
+    (structured lines) or ``"text"``.  Reconfiguring replaces the
+    previous handler rather than stacking duplicates.
+    """
+    global _configured_handler
+    root = logging.getLogger(ROOT_NAME)
+    if _configured_handler is not None:
+        root.removeHandler(_configured_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if fmt == "json":
+        handler.setFormatter(JsonLineFormatter())
+    elif fmt == "text":
+        handler.setFormatter(TextLineFormatter())
+    else:
+        raise ValueError(f"unknown log format {fmt!r} (expected json|text)")
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    _configured_handler = handler
+    return handler

@@ -35,10 +35,13 @@ serial numbering afterwards.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
+
+from ..obs.trace import TraceContext, worker_span
 
 __all__ = [
     "SPLIT_POLICIES",
@@ -150,10 +153,26 @@ class SubtreeBuildTask:
     split_threshold: int
     max_depth: int
     split_policy: str
+    #: optional tracing: parent context plus this task's deterministic
+    #: span-id suffix (frontier position, not completion order)
+    trace: Optional[TraceContext] = None
+    trace_tag: str = ""
 
     def run(self) -> "SubtreeBuildResult":
         """Execute the cascade (executor whole-task entry point)."""
-        return build_subtree(self)
+        if self.trace is None:
+            return build_subtree(self)
+        start = time.perf_counter()
+        result = build_subtree(self)
+        result.span = worker_span(
+            self.trace,
+            self.trace_tag,
+            "subtree_build",
+            start,
+            time.perf_counter(),
+            meta={"nodes": result.nodes_created},
+        )
+        return result
 
 
 @dataclass
@@ -176,6 +195,8 @@ class SubtreeBuildResult:
     containment_offsets: np.ndarray
     partial_flat: np.ndarray
     partial_offsets: np.ndarray
+    #: span recorded by a traced build (rides the result like the counters)
+    span: Optional[object] = None
 
 
 def _should_split(

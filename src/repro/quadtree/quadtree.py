@@ -586,9 +586,14 @@ class AugmentedQuadTree:
         if frontier:
             matrix, _ = self._coef_arrays()
             btol = self._offset_tol
+            # Tracing: worker cascades span under the enclosing
+            # quadtree_build span; ids derive from frontier position, so
+            # the merged tree is schedule-independent.
+            tracer = counters._tracer if counters is not None else None
+            build_trace = tracer.context() if tracer is not None else None
             tasks: List[SubtreeBuildTask] = []
             task_nodes: List[QuadTreeNode] = []
-            for node, _priority in frontier:
+            for index, (node, _priority) in enumerate(frontier):
                 rows = np.asarray(node.partial, dtype=np.intp)
                 tasks.append(
                     SubtreeBuildTask(
@@ -601,6 +606,8 @@ class AugmentedQuadTree:
                         split_threshold=self.split_threshold,
                         max_depth=self.max_depth,
                         split_policy=self.split_policy,
+                        trace=build_trace,
+                        trace_tag=f"B{index}",
                     )
                 )
                 task_nodes.append(node)
@@ -612,6 +619,8 @@ class AugmentedQuadTree:
                 if counters is not None:
                     counters.nodes_created += result.nodes_created
                     counters.splits_performed += result.splits_performed
+                    if result.span is not None:
+                        counters.record_span(result.span)
         self._renumber_and_refile()
 
     def _attach_subtree(self, node: QuadTreeNode, result: SubtreeBuildResult) -> None:

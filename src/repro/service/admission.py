@@ -56,10 +56,11 @@ class _Flight:
     __slots__ = (
         "key", "service", "focal", "tau", "algorithm", "engine", "options",
         "timeout", "use_cache", "done", "result", "error", "cache_hit",
+        "tracer", "ctx",
     )
 
     def __init__(self, key, service, focal, tau, algorithm, engine,
-                 options, timeout, use_cache):
+                 options, timeout, use_cache, tracer=None, ctx=None):
         self.key = key
         self.service = service
         self.focal = focal
@@ -73,6 +74,11 @@ class _Flight:
         self.result = None
         self.error: Optional[BaseException] = None
         self.cache_hit = False
+        #: optional tracing of the request that opened this flight: the
+        #: tracer itself plus the submit span's context, so the wave
+        #: leader (a different thread) can parent its spans correctly
+        self.tracer = tracer
+        self.ctx = ctx
 
 
 class AdmissionController:
@@ -144,6 +150,7 @@ class AdmissionController:
         engine: Optional[str] = None,
         timeout: Optional[float] = None,
         use_cache: bool = True,
+        tracer=None,
         **options,
     ):
         """Admit one query; block until its flight lands; return the result.
@@ -151,6 +158,13 @@ class AdmissionController:
         Exceptions raised by the computation (validation errors, timeouts,
         worker crashes) propagate to *every* request coalesced onto the
         failing flight.
+
+        ``tracer`` (optional, see :mod:`repro.obs.trace`) records the
+        admission spans of this request.  It is deliberately *not* part
+        of the flight key, and a traced request coalescing onto an
+        untraced flight still records its own submit span — the trace
+        then shows the wait without the computation, which is exactly
+        what happened from that request's point of view.
         """
         algorithm = algorithm or service.algorithm
         engine = engine or service.engine
@@ -158,20 +172,31 @@ class AdmissionController:
             dataset_id,
             query_key(focal, int(tau), algorithm, engine, options),
         )
-        with self._cond:
-            self.admitted += 1
-            flight = self._flights.get(key)
-            if flight is not None:
-                self.coalesced += 1
-            else:
-                flight = _Flight(
-                    key, service, focal, int(tau), algorithm, engine,
-                    dict(options), timeout, use_cache,
-                )
-                self._flights[key] = flight
-                self._pending.append(flight)
-                self._cond.notify_all()
-        return self._await(flight)
+        handle = (
+            tracer.begin("admission.submit") if tracer is not None else None
+        )
+        coalesced = False
+        try:
+            with self._cond:
+                self.admitted += 1
+                flight = self._flights.get(key)
+                if flight is not None:
+                    self.coalesced += 1
+                    coalesced = True
+                else:
+                    flight = _Flight(
+                        key, service, focal, int(tau), algorithm, engine,
+                        dict(options), timeout, use_cache,
+                        tracer=tracer,
+                        ctx=tracer.context() if tracer is not None else None,
+                    )
+                    self._flights[key] = flight
+                    self._pending.append(flight)
+                    self._cond.notify_all()
+            return self._await(flight)
+        finally:
+            if handle is not None:
+                tracer.finish(handle, coalesced=coalesced)
 
     def stats(self) -> Dict[str, int]:
         """Admission counters (see the attribute docs)."""
@@ -248,11 +273,24 @@ class AdmissionController:
                 id(job.service), job.tau, job.algorithm, job.engine,
                 tuple(sorted(job.options.items())), job.timeout,
                 job.use_cache,
+                # A traced flight gets its own batch: the tracer threads
+                # through query_batch, and mixing traced and untraced
+                # flights would attribute the whole group's spans to one
+                # request's trace.  id(None) groups untraced flights as
+                # before.
+                id(job.tracer),
             )
             groups.setdefault(group, []).append(job)
         for jobs in groups.values():
             service = jobs[0].service
             lead = jobs[0]
+            wave_handle = None
+            if lead.tracer is not None:
+                # The leader runs on some waiter's thread; parent the wave
+                # span explicitly under the opening request's submit span.
+                wave_handle = lead.tracer.begin(
+                    "admission.wave", parent=lead.ctx
+                )
             try:
                 # Probe which keys are already cached *before* the batch so
                 # every answer can report hit/computed truthfully.
@@ -268,6 +306,7 @@ class AdmissionController:
                     jobs=self.jobs,
                     use_cache=lead.use_cache,
                     timeout=lead.timeout,
+                    tracer=lead.tracer,
                     **lead.options,
                 )
             except BaseException as exc:  # propagate to every waiter
@@ -277,6 +316,9 @@ class AdmissionController:
                     job.result = result
                     job.cache_hit = bool(hit)
                 self._land(jobs)
+            finally:
+                if wave_handle is not None:
+                    lead.tracer.finish(wave_handle, wave_jobs=len(jobs))
 
     def _land(self, jobs: List[_Flight], error: Optional[BaseException] = None) -> None:
         with self._cond:

@@ -27,6 +27,7 @@ forked copy of a parent's pool is not usable).
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -39,6 +40,7 @@ from ..engine.deadline import Deadline
 from ..engine.executors import SerialExecutor
 from ..errors import AlgorithmError
 from ..index.rstar import RStarTree
+from ..obs.trace import TraceContext, Tracer, worker_span
 from ..skyline.bbs import SkylineCache
 from ..stats import CostCounters
 
@@ -97,6 +99,14 @@ class QueryTask:
         carry an *absolute* monotonic-clock expiry, so the pickled copy a
         forked worker receives expires at the same instant as the
         service's (``CLOCK_MONOTONIC`` is system-wide on one host).
+    trace / trace_tag:
+        Optional tracing: the batch span's :class:`TraceContext` plus
+        this task's deterministic span-id suffix (submission position).
+        A traced task anchors a worker-local :class:`Tracer` under its
+        pre-allocated span id, so the engine-phase spans it emits nest
+        correctly and never collide with another task's — whatever
+        worker runs it.  The finished spans ride home inside the result
+        counters, the same merge path as every other counter.
     """
 
     token: int
@@ -107,6 +117,8 @@ class QueryTask:
     engine: str = "auto"
     options: Tuple[Tuple[str, object], ...] = field(default=())
     deadline: Optional[Deadline] = None
+    trace: Optional[TraceContext] = None
+    trace_tag: str = ""
 
     def run(self) -> MaxRankResult:
         """Execute the query against the registered shared state.
@@ -127,6 +139,17 @@ class QueryTask:
         focal = self.focal_index if self.focal_index is not None else self.focal_vector
         counters = CostCounters()
         counters.cache_misses += 1
+        tracer = None
+        span_start = 0.0
+        if self.trace is not None:
+            # Anchor a worker-local tracer under this task's pre-allocated
+            # span id: engine-phase spans nest under it with worker-local
+            # ordinals that cannot collide across tasks.
+            span_start = time.perf_counter()
+            parent = self.trace.parent_id
+            anchor_id = f"{parent}.{self.trace_tag}" if parent else self.trace_tag
+            tracer = Tracer(anchor=TraceContext(self.trace.trace_id, anchor_id))
+            counters._tracer = tracer
         options = dict(self.options)
         name = self.algorithm.lower()
         if name in ("aa", "aa3d", "ba") or (
@@ -136,15 +159,28 @@ class QueryTask:
             # already one of N batch workers, and a REPRO_JOBS pool object
             # inherited across the fork would not be usable anyway.
             options.setdefault("executor", SerialExecutor())
-        return maxrank(
-            state.dataset,
-            focal,
-            algorithm=self.algorithm,
-            engine=self.engine,
-            tau=self.tau,
-            tree=state.tree,
-            counters=counters,
-            skyline_cache=state.skyline_cache,
-            deadline=self.deadline,
-            **options,
-        )
+        try:
+            return maxrank(
+                state.dataset,
+                focal,
+                algorithm=self.algorithm,
+                engine=self.engine,
+                tau=self.tau,
+                tree=state.tree,
+                counters=counters,
+                skyline_cache=state.skyline_cache,
+                deadline=self.deadline,
+                **options,
+            )
+        finally:
+            if tracer is not None:
+                counters._tracer = None
+                counters.record_span(worker_span(
+                    self.trace,
+                    self.trace_tag,
+                    "query_task",
+                    span_start,
+                    time.perf_counter(),
+                ))
+                for record in tracer.records():
+                    counters.record_span(record)

@@ -52,6 +52,16 @@ Three subcommands drive the service end-to-end (``python -m repro.service``):
         python -m repro.service serve --listen 127.0.0.1:7117 \
             --shard nba=nba.rprs --shard hotel=hotel.rprs
 
+    Introspection verbs ride the same loop in both modes:
+    ``{"cmd": "stats"}`` returns the raw per-layer counters,
+    ``{"cmd": "metrics"}`` one consolidated serving snapshot plus the
+    metrics registry, and ``{"cmd": "trace"}`` answers the query *and*
+    attaches its complete span tree (render with ``tools/trace_view.py``).
+    ``--metrics-port`` additionally exposes the registry in Prometheus
+    text format over HTTP (``GET /metrics``), and
+    ``--slow-query-threshold S`` traces every query, dumping the span
+    tree of any that take ``>= S`` seconds as one structured log line.
+
 Failure contract (see ``docs/ARCHITECTURE.md``, *Failure model*): every
 command exits non-zero with a one-line ``error: {"code": ..., "message":
 ...}`` diagnostic on stderr — exit code 3 for a query that exceeded its
@@ -88,6 +98,8 @@ from ..errors import (
     SnapshotError,
     WorkerCrashError,
 )
+from ..obs import MetricsRegistry, Tracer, configure_logging, get_logger
+from ..obs.snapshot import install_serving_collector, serving_snapshot
 from ..stats import CostCounters
 from .core import MaxRankService, result_fingerprint
 
@@ -273,23 +285,163 @@ def _parse_focal(request: dict):
     return focal
 
 
-class _ServiceBackend:
-    """Serve-protocol backend over one :class:`MaxRankService` (stdin mode)."""
+class _ServeObservability:
+    """Per-serve-loop observability: the metrics registry + slow-query log.
 
-    def __init__(self, service: MaxRankService, default_timeout: Optional[float]):
-        self.service = service
-        self.default_timeout = default_timeout
-        self.served = 0
+    One instance per serve loop, shared by the backend, the error paths
+    and the optional Prometheus HTTP endpoint.  Every answered query
+    observes one sample of the per-shard latency histogram; when a slow
+    threshold is set, every query runs traced so a slow one can dump its
+    complete span tree as a single structured log line.
+    """
+
+    def __init__(self, slow_threshold: Optional[float] = None):
+        self.registry = MetricsRegistry()
+        self.slow_threshold = slow_threshold
+        self.logger = get_logger("repro.serve")
+        self.slow_queries = 0
+        self._lock = threading.Lock()
+
+    def observe_query(self, shard: str, elapsed: float) -> None:
+        self.registry.counter(
+            "repro_requests_total",
+            "Queries answered, by shard", shard=shard,
+        ).inc()
+        self.registry.histogram(
+            "repro_query_latency_seconds",
+            "Wall-clock latency of answered queries, by shard", shard=shard,
+        ).observe(elapsed)
+
+    def observe_error(self, code: str) -> None:
+        self.registry.counter(
+            "repro_request_errors_total",
+            "Requests answered with a structured error, by code", code=code,
+        ).inc()
+
+    def maybe_log_slow(self, tracer: Tracer, elapsed: float,
+                       request: dict, shard: str) -> None:
+        if self.slow_threshold is None or elapsed < self.slow_threshold:
+            return
+        with self._lock:
+            self.slow_queries += 1
+        self.logger.warning(
+            "slow query",
+            extra={
+                "event": "slow_query",
+                "shard": shard,
+                "elapsed_s": round(elapsed, 6),
+                "threshold_s": self.slow_threshold,
+                "request": {k: v for k, v in request.items() if k != "cmd"},
+                "trace": tracer.export(),
+            },
+        )
+
+
+def _start_metrics_http(registry: MetricsRegistry, port: int):
+    """Expose ``registry`` on ``GET /metrics`` (Prometheus text format).
+
+    Binds loopback only — metrics are host-local introspection, not part
+    of the serving protocol.  Returns the started server; its kernel-
+    picked port (``--metrics-port 0``) is in ``server_address``.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.rstrip("/") not in ("", "/metrics"):
+                self.send_error(404)
+                return
+            body = registry.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # scrapes are not log-worthy
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+    threading.Thread(
+        target=server.serve_forever, name="metrics-http", daemon=True
+    ).start()
+    return server
+
+
+class _ObservedBackend:
+    """The query/trace/metrics surface shared by both serve backends.
+
+    Subclasses implement ``_query(request, tracer) -> (payload, shard)``
+    and ``_serving_view()``; this base adds the wall-clock timing, the
+    per-shard latency metrics, the slow-query log, and the ``trace`` /
+    ``metrics`` protocol verbs on top.
+    """
+
+    obs: _ServeObservability
 
     def query(self, request: dict) -> dict:
+        return self._observed(request, want_trace=False)
+
+    def trace(self, request: dict) -> dict:
+        """Answer the query and attach its complete span tree."""
+        return self._observed(request, want_trace=True)
+
+    def metrics(self, request: dict) -> dict:
+        """One coherent snapshot: consolidated stats + the registry."""
+        return {
+            "serving": self._serving_view(),
+            "metrics": self.obs.registry.snapshot(),
+            "slow_queries": self.obs.slow_queries,
+        }
+
+    def _observed(self, request: dict, want_trace: bool) -> dict:
+        obs = self.obs
+        traced = want_trace or obs.slow_threshold is not None
+        tracer = Tracer() if traced else None
+        start = time.perf_counter()
+        if tracer is not None:
+            handle = tracer.begin("request")
+            try:
+                payload, shard = self._query(request, tracer)
+            finally:
+                tracer.finish(handle)
+        else:
+            payload, shard = self._query(request, None)
+        elapsed = time.perf_counter() - start
+        obs.observe_query(shard, elapsed)
+        if tracer is not None:
+            obs.maybe_log_slow(tracer, elapsed, request, shard)
+        if want_trace:
+            payload["trace"] = tracer.export()
+        return payload
+
+
+class _ServiceBackend(_ObservedBackend):
+    """Serve-protocol backend over one :class:`MaxRankService` (stdin mode)."""
+
+    def __init__(self, service: MaxRankService, default_timeout: Optional[float],
+                 obs: Optional[_ServeObservability] = None):
+        self.service = service
+        self.default_timeout = default_timeout
+        self.obs = obs if obs is not None else _ServeObservability()
+        self.served = 0
+
+    def _query(self, request: dict, tracer: Optional[Tracer]) -> tuple:
         hits_before = self.service.cache.hits
         result = self.service.query(
             _parse_focal(request),
             tau=int(request.get("tau", 0)),
             timeout=request.get("timeout", self.default_timeout),
+            tracer=tracer,
         )
         self.served += 1
-        return _answer_payload(result, self.service.cache.hits > hits_before)
+        payload = _answer_payload(result, self.service.cache.hits > hits_before)
+        return payload, self.service.dataset.name
+
+    def _serving_view(self) -> dict:
+        return self.service.stats()
 
     def insert(self, request: dict) -> dict:
         new_id = self.service.insert(np.asarray(request["record"], dtype=float))
@@ -306,16 +458,21 @@ class _ServiceBackend:
         return self.service.stats()
 
 
-class _RouterBackend:
+class _RouterBackend(_ObservedBackend):
     """Serve-protocol backend over a :class:`DatasetRouter` (network mode).
 
     Identical request schema plus an optional ``"dataset"`` field naming
     the shard; it may be omitted when the router serves exactly one.
     """
 
-    def __init__(self, router, default_timeout: Optional[float]):
+    def __init__(self, router, default_timeout: Optional[float],
+                 obs: Optional[_ServeObservability] = None):
         self.router = router
         self.default_timeout = default_timeout
+        self.obs = obs if obs is not None else _ServeObservability()
+        #: transport server, attached by ``_serve_listen`` once bound, so
+        #: the consolidated snapshot can include connection totals
+        self.server = None
         self.served = 0
         self._served_lock = threading.Lock()
 
@@ -331,16 +488,21 @@ class _RouterBackend:
             f"(\"dataset\": ...); this server has: {', '.join(ids)}"
         )
 
-    def query(self, request: dict) -> dict:
+    def _query(self, request: dict, tracer: Optional[Tracer]) -> tuple:
+        dataset = self._dataset(request)
         result, cache_hit = self.router.query(
-            self._dataset(request),
+            dataset,
             _parse_focal(request),
             tau=int(request.get("tau", 0)),
             timeout=request.get("timeout", self.default_timeout),
+            tracer=tracer,
         )
         with self._served_lock:
             self.served += 1
-        return _answer_payload(result, cache_hit)
+        return _answer_payload(result, cache_hit), dataset
+
+    def _serving_view(self) -> dict:
+        return serving_snapshot(self.router, self.server)
 
     def insert(self, request: dict) -> dict:
         dataset = self._dataset(request)
@@ -374,6 +536,10 @@ def _handle_request(backend, request) -> tuple:
     cmd = request.get("cmd")
     if cmd == "stats":
         return backend.stats(request), False
+    if cmd == "metrics":
+        return backend.metrics(request), False
+    if cmd == "trace":
+        return backend.trace(request), False
     if cmd == "quit":
         return None, True
     if cmd == "insert":
@@ -437,17 +603,23 @@ def _serve_stdin(args: argparse.Namespace) -> int:
         except (ValueError, OSError):  # not the main thread / unsupported
             pass
 
+    obs = _ServeObservability(args.slow_query_threshold)
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = _start_metrics_http(obs.registry, args.metrics_port)
     try:
         with MaxRankService.from_snapshot(
             args.snapshot, cache_size=args.cache_size
         ) as service:
-            backend = _ServiceBackend(service, args.timeout)
+            backend = _ServiceBackend(service, args.timeout, obs)
             meta = {
                 "ready": True,
                 "dataset": service.dataset.name,
                 "n": service.dataset.n,
                 "d": service.dataset.d,
             }
+            if metrics_server is not None:
+                meta["metrics_port"] = metrics_server.server_address[1]
             print(json.dumps(meta), flush=True)
             for line in _request_lines(lambda: draining["flag"]):
                 line = line.strip()
@@ -461,9 +633,9 @@ def _serve_stdin(args: argparse.Namespace) -> int:
                         break
                     print(json.dumps(payload), flush=True)
                 except (ReproError, KeyError, ValueError, TypeError) as exc:
-                    print(
-                        json.dumps({"error": _error_payload(exc)}), flush=True
-                    )
+                    payload = _error_payload(exc)
+                    obs.observe_error(payload["code"])
+                    print(json.dumps({"error": payload}), flush=True)
             shutdown = {
                 "shutdown": True,
                 "reason": draining["signal"] or "eof",
@@ -471,6 +643,9 @@ def _serve_stdin(args: argparse.Namespace) -> int:
             }
             print(json.dumps(shutdown), flush=True)
     finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     return 0
@@ -512,7 +687,8 @@ def _serve_listen(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         service_options={"cache_size": args.cache_size},
     ) as router:
-        backend = _RouterBackend(router, args.timeout)
+        obs = _ServeObservability(args.slow_query_threshold)
+        backend = _RouterBackend(router, args.timeout, obs)
 
         def handler(line: str):
             payload, quit_ = _handle_request(backend, json.loads(line))
@@ -533,12 +709,19 @@ def _serve_listen(args: argparse.Namespace) -> int:
             })
 
         def on_error(exc: BaseException) -> str:
-            return json.dumps({"error": _error_payload(exc)})
+            payload = _error_payload(exc)
+            obs.observe_error(payload["code"])
+            return json.dumps({"error": payload})
 
         server = ThreadedLineServer(
             host, port, handler,
             greeting=greeting, farewell=farewell, on_error=on_error,
         )
+        backend.server = server
+        install_serving_collector(obs.registry, router, server)
+        metrics_server = None
+        if args.metrics_port is not None:
+            metrics_server = _start_metrics_http(obs.registry, args.metrics_port)
 
         def _drain(signum, frame):
             server.shutdown(signal.Signals(signum).name)
@@ -552,12 +735,18 @@ def _serve_listen(args: argparse.Namespace) -> int:
         try:
             # The bound address on stdout lets a parent process (tests, the
             # CI smoke) learn the kernel-picked port when --listen used :0.
-            print(json.dumps({
+            listening = {
                 "listening": list(server.address),
                 "datasets": list(router.dataset_ids),
-            }), flush=True)
+            }
+            if metrics_server is not None:
+                listening["metrics_port"] = metrics_server.server_address[1]
+            print(json.dumps(listening), flush=True)
             server.serve_forever()
         finally:
+            if metrics_server is not None:
+                metrics_server.shutdown()
+                metrics_server.server_close()
             for signum, handler_ in previous.items():
                 signal.signal(signum, handler_)
         print(json.dumps({
@@ -566,6 +755,7 @@ def _serve_listen(args: argparse.Namespace) -> int:
             "connections": server.connections_accepted,
             "requests": server.requests_handled,
             "queries_answered": backend.served,
+            "slow_queries": obs.slow_queries,
         }), flush=True)
     return 0
 
@@ -586,6 +776,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.service",
         description=__doc__.split("\n", 1)[0],
     )
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="stderr log verbosity (default warning; library "
+                             "use stays quiet — only the CLI configures "
+                             "logging)")
+    parser.add_argument("--log-format", default="json",
+                        choices=("json", "text"),
+                        help="log line format (default json)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     build = commands.add_parser("build", help="build a dataset snapshot")
@@ -671,9 +869,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "concurrent arrivals (default 0.002s)")
     serve.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="whole-query process parallelism per wave")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                       help="expose the metrics registry in Prometheus text "
+                            "format on http://127.0.0.1:PORT/metrics "
+                            "(0 = kernel-picked, reported in the ready line)")
+    serve.add_argument("--slow-query-threshold", type=float, default=None,
+                       metavar="S",
+                       help="trace every query and log the full span tree of "
+                            "any that take >= S seconds (one structured log "
+                            "line per slow query)")
     serve.set_defaults(handler=_serve)
 
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, fmt=args.log_format)
     try:
         return args.handler(args)
     except QueryTimeoutError as exc:

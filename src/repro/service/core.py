@@ -38,7 +38,6 @@ zero in standalone runs.  The one deliberate exception is the opt-in
 
 from __future__ import annotations
 
-import logging
 import threading
 import time
 from contextlib import contextmanager
@@ -55,6 +54,8 @@ from ..engine.executors import LeafTaskExecutor, make_executor
 from ..errors import AlgorithmError, QueryTimeoutError, SnapshotError
 from ..index.diskio import load_snapshot, save_snapshot
 from ..index.rstar import RStarTree
+from ..obs.log import get_logger
+from ..obs.trace import Tracer
 from ..skyline.bbs import SkylineCache
 from ..stats import CostCounters
 from .batch import QueryTask, register_state, unregister_state
@@ -62,7 +63,7 @@ from .cache import QueryCache, query_key
 
 __all__ = ["MaxRankService", "result_fingerprint"]
 
-logger = logging.getLogger("repro.service")
+logger = get_logger("repro.service")
 
 Focal = Union[int, Sequence[float], np.ndarray]
 
@@ -286,8 +287,13 @@ class MaxRankService:
             if strict or fallback_dataset is None:
                 raise
             logger.warning(
-                "snapshot %s unusable (%s); rebuilding from dataset %r",
-                path, exc, fallback_dataset.name,
+                "snapshot unusable; rebuilding from fallback dataset",
+                extra={
+                    "event": "snapshot_fallback",
+                    "snapshot": str(path),
+                    "error": str(exc),
+                    "dataset": fallback_dataset.name,
+                },
             )
             service = cls(fallback_dataset, **kwargs)
             service.snapshot_fallback = True
@@ -384,22 +390,38 @@ class MaxRankService:
         options: Dict[str, object],
         jobs: Optional[int] = None,
         deadline: Optional[Deadline] = None,
+        tracer: Optional[Tracer] = None,
     ) -> MaxRankResult:
         counters = CostCounters()
         counters.cache_misses += 1
-        result = maxrank(
-            self.dataset,
-            focal,
-            algorithm=algorithm,
-            engine=engine,
-            tau=tau,
-            tree=self.tree,
-            counters=counters,
-            jobs=jobs,
-            skyline_cache=self.skyline_cache,
-            deadline=deadline,
-            **options,
-        )
+        handle = None
+        if tracer is not None:
+            # The tracer rides the counters into the engine: timer sections
+            # and leaf/build tasks emit spans against it, and worker-side
+            # span deltas come back inside the counters merge.
+            handle = tracer.begin("compute")
+            counters._tracer = tracer
+        try:
+            result = maxrank(
+                self.dataset,
+                focal,
+                algorithm=algorithm,
+                engine=engine,
+                tau=tau,
+                tree=self.tree,
+                counters=counters,
+                jobs=jobs,
+                skyline_cache=self.skyline_cache,
+                deadline=deadline,
+                **options,
+            )
+        finally:
+            if tracer is not None:
+                tracer.finish(handle)
+                counters._tracer = None
+                # Keep spans out of the service aggregate counters: they
+                # belong to this trace, not to ``self.counters``.
+                tracer.absorb(counters.drain_spans())
         return result
 
     def query(
@@ -412,6 +434,7 @@ class MaxRankService:
         use_cache: bool = True,
         jobs: Optional[int] = None,
         timeout: Optional[Union[float, Deadline]] = None,
+        tracer: Optional[Tracer] = None,
         **options,
     ) -> MaxRankResult:
         """Answer one MaxRank / iMaxRank query against the owned dataset.
@@ -428,6 +451,10 @@ class MaxRankService:
         part of the cache key — a cached answer is served regardless of
         the timeout, and a computed answer is cached for timeout-free
         callers too (the answer does not depend on the budget).
+
+        ``tracer`` (optional, see :mod:`repro.obs.trace`) records a span
+        tree for the query — service, engine phases, worker tasks — and
+        never affects the answer, the counters or the cache key.
         """
         if self._closed:
             raise AlgorithmError("the service is closed")
@@ -436,33 +463,40 @@ class MaxRankService:
         self._validate_request(focal, tau, algorithm, engine)
         deadline = self._coerce_deadline(timeout)
         key = self._key(focal, tau, algorithm, engine, options)
-        with self._gate.read():
-            with self._mutex:
-                self.queries_served += 1
-                if use_cache:
-                    cached = self.cache.get(
-                        key, tau_monotone=self.tau_policy == "monotone"
-                    )
-                    if cached is not None:
-                        self.counters.cache_hits += 1
-                        return cached
-            try:
-                result = self._compute(
-                    focal, tau, algorithm, engine, options,
-                    jobs=jobs, deadline=deadline,
-                )
-            except QueryTimeoutError as exc:
+        handle = tracer.begin("service.query") if tracer is not None else None
+        cache_hit = False
+        try:
+            with self._gate.read():
                 with self._mutex:
-                    self.query_timeouts += 1
-                    if exc.counters is not None:
-                        self.counters += exc.counters
-                raise
-            with self._mutex:
-                self.queries_computed += 1
-                self.counters += result.counters
-                if use_cache:
-                    self.cache.put(key, result)
-            return result
+                    self.queries_served += 1
+                    if use_cache:
+                        cached = self.cache.get(
+                            key, tau_monotone=self.tau_policy == "monotone"
+                        )
+                        if cached is not None:
+                            self.counters.cache_hits += 1
+                            cache_hit = True
+                            return cached
+                try:
+                    result = self._compute(
+                        focal, tau, algorithm, engine, options,
+                        jobs=jobs, deadline=deadline, tracer=tracer,
+                    )
+                except QueryTimeoutError as exc:
+                    with self._mutex:
+                        self.query_timeouts += 1
+                        if exc.counters is not None:
+                            self.counters += exc.counters
+                    raise
+                with self._mutex:
+                    self.queries_computed += 1
+                    self.counters += result.counters
+                    if use_cache:
+                        self.cache.put(key, result)
+                return result
+        finally:
+            if handle is not None:
+                tracer.finish(handle, cache_hit=cache_hit)
 
     def query_batch(
         self,
@@ -474,6 +508,7 @@ class MaxRankService:
         jobs: Optional[int] = None,
         use_cache: bool = True,
         timeout: Optional[Union[float, Deadline]] = None,
+        tracer: Optional[Tracer] = None,
         **options,
     ) -> List[MaxRankResult]:
         """Answer a batch of queries, amortising and (optionally) parallelising.
@@ -528,6 +563,7 @@ class MaxRankService:
                         engine=engine,
                         use_cache=use_cache,
                         timeout=deadline,
+                        tracer=tracer,
                         **options,
                     )
                     local[key] = result
@@ -562,11 +598,20 @@ class MaxRankService:
 
             if pending:
                 frozen_options = tuple(sorted(options.items()))
+                # Traced batches: each task carries a TraceContext under one
+                # batch span; its tag (submission position) makes the
+                # worker-minted span ids schedule-independent.
+                batch_handle = None
+                batch_trace = None
+                if tracer is not None:
+                    batch_handle = tracer.begin("service.batch")
+                    batch_trace = tracer.context()
                 tasks = [
                     self._make_task(
-                        focal, tau, algorithm, engine, frozen_options, deadline
+                        focal, tau, algorithm, engine, frozen_options,
+                        deadline, trace=batch_trace, trace_tag=f"Q{index}",
                     )
-                    for focal in pending
+                    for index, focal in enumerate(pending)
                 ]
                 with self._mutex:
                     executor = self._executors.get(jobs)
@@ -579,9 +624,13 @@ class MaxRankService:
                     with self._mutex:
                         self.query_timeouts += 1
                         if exc.counters is not None:
+                            if tracer is not None:
+                                tracer.absorb(exc.counters.drain_spans())
                             self.counters += exc.counters
                     raise
                 finally:
+                    if batch_handle is not None:
+                        tracer.finish(batch_handle, tasks=len(tasks))
                     # Attribute crash-recovery events of this batch (worker
                     # retries, serial degradation) to the service
                     # aggregates, whether the batch finished or timed out.
@@ -595,6 +644,9 @@ class MaxRankService:
                 with self._mutex:
                     for key, result in zip(pending_keys, task_results):
                         self.queries_computed += 1
+                        if tracer is not None:
+                            # Spans belong to the trace, not the aggregate.
+                            tracer.absorb(result.counters.drain_spans())
                         self.counters += result.counters
                         if use_cache:
                             self.cache.put(key, result)
@@ -619,6 +671,8 @@ class MaxRankService:
         engine: str,
         frozen_options,
         deadline: Optional[Deadline] = None,
+        trace=None,
+        trace_tag: str = "",
     ) -> QueryTask:
         if isinstance(focal, (int, np.integer)):
             return QueryTask(
@@ -629,6 +683,8 @@ class MaxRankService:
                 engine=engine,
                 options=frozen_options,
                 deadline=deadline,
+                trace=trace,
+                trace_tag=trace_tag,
             )
         return QueryTask(
             self._token,
@@ -638,6 +694,8 @@ class MaxRankService:
             engine=engine,
             options=frozen_options,
             deadline=deadline,
+            trace=trace,
+            trace_tag=trace_tag,
         )
 
     # ------------------------------------------------------------- mutations

@@ -126,6 +126,18 @@ class CostCounters:
     every worker-side leaf task its own counters and still report one exact
     per-query funnel.  Counters are picklable, so they cross process
     boundaries with the task results.
+
+    The counters also carry the observability side channels (see
+    :mod:`repro.obs`): ``_tracer`` is an optional live
+    :class:`~repro.obs.trace.Tracer` — when set, every :meth:`timer`
+    section additionally emits a span, at the cost of one ``is None``
+    check when unset — and ``_spans`` is the list of finished
+    :class:`~repro.obs.trace.SpanRecord` deltas riding home from
+    workers, merged by :meth:`merge` exactly like the counters.  Both
+    are excluded from :meth:`as_dict` and equality, so traced and
+    untraced counter reports compare bit-identically; the tracer (a
+    live object full of locks) is dropped on pickle, the span records
+    (plain data) cross process boundaries with the rest.
     """
 
     page_reads: int = 0
@@ -159,6 +171,8 @@ class CostCounters:
     _seen_pages: set = field(default_factory=set, repr=False)
     _timers: Dict[str, float] = field(default_factory=dict, repr=False)
     _timer_starts: Dict[str, float] = field(default_factory=dict, repr=False)
+    _spans: list = field(default_factory=list, repr=False, compare=False)
+    _tracer: object = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------ I/O
     def count_page_read(self, page_id: int) -> None:
@@ -180,13 +194,21 @@ class CostCounters:
 
             with counters.timer("within_leaf"):
                 ...work...
+
+        When a tracer is attached (``_tracer``), the section also emits
+        a span of the same name; with no tracer the extra cost is one
+        ``is None`` check.
         """
+        tracer = self._tracer
+        handle = tracer.begin(name) if tracer is not None else None
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
             self._timers[name] = self._timers.get(name, 0.0) + elapsed
+            if handle is not None:
+                tracer.finish(handle)
 
     def timer_seconds(self, name: str) -> float:
         """Total seconds accumulated under ``name`` (0.0 if never used)."""
@@ -289,17 +311,32 @@ class CostCounters:
         self._seen_pages.update(other._seen_pages)
         for name, seconds in other._timers.items():
             self._timers[name] = self._timers.get(name, 0.0) + seconds
+        if other._spans:
+            self._spans.extend(other._spans)
 
     def __iadd__(self, other: "CostCounters") -> "CostCounters":
         """``counters += other`` — alias of :meth:`merge`."""
         self.merge(other)
         return self
 
+    # ---------------------------------------------------------------- spans
+    def record_span(self, record) -> None:
+        """Append one finished :class:`~repro.obs.trace.SpanRecord` delta."""
+        self._spans.append(record)
+
+    def drain_spans(self) -> list:
+        """Return and clear the accumulated span records."""
+        spans, self._spans = self._spans, []
+        return spans
+
     def __getstate__(self) -> Dict[str, object]:
         """Pickle support: drop in-flight timer starts (not meaningful
-        across processes); everything else round-trips verbatim."""
+        across processes) and the live tracer (a lock-bearing object —
+        workers get their trace context through the task instead);
+        everything else, span records included, round-trips verbatim."""
         state = dict(self.__dict__)
         state["_timer_starts"] = {}
+        state["_tracer"] = None
         return state
 
     def reset(self) -> None:

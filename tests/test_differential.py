@@ -34,6 +34,7 @@ import numpy as np
 import pytest
 
 from repro import CostCounters, generate, maxrank
+from repro.obs import Tracer
 from repro.skyline.dominance import partition_by_dominance
 from repro.topk.scoring import order_of
 
@@ -231,6 +232,53 @@ class TestWholeSpaceAndCostPolicy3D:
         assert cost.dominator_count == static.dominator_count
         assert canonical_cells(cost) == canonical_cells(oracle)
         assert_rank_semantics(dataset, focal, cost)
+
+
+class TestTracedBitIdentity3D:
+    """Tracing must be bit-identity neutral over the full 42-case matrix.
+
+    The span side channels (``CostCounters._spans`` / ``_tracer``) ride
+    outside the counter dicts, so an instrumented run must produce the
+    same regions and the same non-time counters as an untraced one.
+    Wall-clock timer accumulations (``time_*`` keys) legitimately differ
+    between any two runs and are stripped before comparison.
+    """
+
+    @staticmethod
+    def _strip_times(dump):
+        return {k: v for k, v in dump.items() if not k.startswith("time_")}
+
+    @pytest.mark.parametrize("dist,tau,seed", CASES_3D)
+    def test_traced_run_is_bit_identical(self, dist, tau, seed):
+        dataset, focal = make_case(dist, 3, 100 + seed)
+
+        plain_counters = CostCounters()
+        plain = maxrank(
+            dataset, focal, engine="planar", tau=tau, counters=plain_counters
+        )
+
+        tracer = Tracer()
+        traced_counters = CostCounters()
+        traced_counters._tracer = tracer
+        with tracer.span("request"):
+            traced = maxrank(
+                dataset, focal, engine="planar", tau=tau,
+                counters=traced_counters,
+            )
+        traced_counters._tracer = None
+        tracer.absorb(traced_counters.drain_spans())
+
+        assert traced.k_star == plain.k_star
+        assert traced.dominator_count == plain.dominator_count
+        assert traced.minimum_cell_order == plain.minimum_cell_order
+        assert region_fingerprint(traced) == region_fingerprint(plain)
+        assert self._strip_times(traced_counters.as_dict()) == \
+            self._strip_times(plain_counters.as_dict())
+
+        records = tracer.records()
+        assert records, "traced run recorded no spans"
+        names = {record.name for record in records}
+        assert "request" in names and "skyline" in names
 
 
 class TestAa2dVsBruteforce2D:

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Render a query trace as an indented span tree with self/total times.
+
+Input is JSON on stdin or from a file argument — any of the shapes the
+serving stack emits:
+
+* a full ``{"cmd": "trace"}`` answer (the span tree under ``"trace"``),
+* a bare ``Tracer.export()`` dict (``{"trace_id": ..., "spans": [...]}``),
+* a slow-query log line (the tree under ``"trace"``), or
+* just ``{"spans": [...]}``.
+
+Usage::
+
+    printf '{"cmd": "trace", "focal": 5}\n' | nc host port | \
+        python tools/trace_view.py
+    python tools/trace_view.py slow_query.json
+
+For every span the *total* column is its own elapsed wall-clock time and
+*self* is that minus the time of its direct children — the part spent in
+the span's own code rather than delegated further down.  Spans recorded
+by concurrent children can overlap, so self time is clamped at zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def _extract_spans(payload: dict) -> dict:
+    """Find the trace dict inside any of the accepted JSON shapes."""
+    if isinstance(payload.get("trace"), dict):
+        payload = payload["trace"]
+    if not isinstance(payload.get("spans"), list):
+        raise ValueError(
+            "no span list found; expected a {\"cmd\": \"trace\"} answer, "
+            "a Tracer.export() dict, or a slow-query log line"
+        )
+    return payload
+
+
+def _id_key(span_id: str):
+    """Numeric-aware ordering of hierarchical ids (1.10 after 1.9)."""
+    return tuple(
+        (0, int(part)) if part.isdigit() else (1, part)
+        for part in span_id.split(".")
+    )
+
+
+def _format_meta(meta: Optional[dict]) -> str:
+    if not meta:
+        return ""
+    body = " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    return f"  [{body}]"
+
+
+def render(trace: dict, out=None) -> None:
+    """Print the span tree of one trace to ``out`` (default stdout)."""
+    out = out if out is not None else sys.stdout
+    spans: List[dict] = trace["spans"]
+    by_id: Dict[str, dict] = {span["id"]: span for span in spans}
+    children: Dict[Optional[str], List[dict]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan (partial dump): promote to root
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: _id_key(s["id"]))
+
+    total = sum(s["elapsed_s"] for s in children.get(None, ()))
+    trace_id = trace.get("trace_id", "?")
+    print(f"trace {trace_id} — {len(spans)} spans, {total * 1e3:.3f}ms total",
+          file=out)
+
+    name_width = max(
+        (len(s["name"]) + 2 * s["id"].count(".") for s in spans), default=0
+    )
+
+    def walk(span: dict, depth: int) -> None:
+        kids = children.get(span["id"], [])
+        elapsed = span["elapsed_s"]
+        self_time = max(0.0, elapsed - sum(k["elapsed_s"] for k in kids))
+        label = "  " * depth + span["name"]
+        print(
+            f"{label:<{name_width}}  total {elapsed * 1e3:9.3f}ms  "
+            f"self {self_time * 1e3:9.3f}ms"
+            f"{_format_meta(span.get('meta'))}",
+            file=out,
+        )
+        for kid in kids:
+            walk(kid, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("path", nargs="?", default=None,
+                        help="JSON file to render (default: stdin)")
+    args = parser.parse_args(argv)
+    if args.path:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+    try:
+        render(_extract_spans(json.loads(text)))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
